@@ -1,0 +1,159 @@
+//! Round-synchronous (batched) allocation — parallel randomized load
+//! balancing (the paper's refs \[7\] Adler et al. and \[8\]
+//! Lenzen–Wattenhofer).
+//!
+//! Balls arrive in batches of size `b`; every ball in a batch observes the
+//! *same* load snapshot (taken at the start of the batch) and all commit
+//! simultaneously. `b = 1` recovers the sequential process; `b = m` is a
+//! single fully parallel round. In between, the **herd effect** appears:
+//! balls in a batch cannot see each other, so they pile onto the same
+//! momentarily light bins — quantifying how much communication latency the
+//! power of two choices tolerates (the dynamic analogue is
+//! `paba_core::StaleLoad`).
+
+use crate::AllocationResult;
+use rand::Rng;
+
+/// Batched Greedy\[d\]: `m` balls in batches of `batch`, `d` uniform
+/// candidate bins per ball, each ball joins the candidate that was least
+/// loaded **at the start of its batch** (ties uniform).
+///
+/// # Panics
+/// If `n == 0`, `d == 0`, or `batch == 0`.
+pub fn batched_d_choice<R: Rng + ?Sized>(
+    n: u32,
+    m: u64,
+    d: u32,
+    batch: u64,
+    rng: &mut R,
+) -> AllocationResult {
+    assert!(n > 0, "need at least one bin");
+    assert!(d > 0, "need at least one choice");
+    assert!(batch > 0, "batch size must be positive");
+    let mut loads = vec![0u32; n as usize];
+    let mut snapshot = loads.clone();
+    let mut thrown = 0u64;
+    while thrown < m {
+        snapshot.copy_from_slice(&loads);
+        let this_batch = batch.min(m - thrown);
+        for _ in 0..this_batch {
+            let mut best = rng.gen_range(0..n) as usize;
+            let mut ties = 1u32;
+            for _ in 1..d {
+                let c = rng.gen_range(0..n) as usize;
+                if snapshot[c] < snapshot[best] {
+                    best = c;
+                    ties = 1;
+                } else if snapshot[c] == snapshot[best] {
+                    ties += 1;
+                    if rng.gen_range(0..ties) == 0 {
+                        best = c;
+                    }
+                }
+            }
+            loads[best] += 1;
+        }
+        thrown += this_batch;
+    }
+    AllocationResult { loads, m }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::d_choice;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn conservation_and_shape() {
+        let r = batched_d_choice(128, 1000, 2, 37, &mut rng(1));
+        assert!(r.check_conservation());
+        assert_eq!(r.n(), 128);
+        assert_eq!(r.m, 1000);
+    }
+
+    #[test]
+    fn batch_one_statistically_matches_sequential() {
+        let n = 2048u32;
+        let runs = 10;
+        let seq: f64 = (0..runs)
+            .map(|s| d_choice(n, n as u64, 2, &mut rng(s)).max_load() as f64)
+            .sum::<f64>()
+            / runs as f64;
+        let b1: f64 = (0..runs)
+            .map(|s| batched_d_choice(n, n as u64, 2, 1, &mut rng(100 + s)).max_load() as f64)
+            .sum::<f64>()
+            / runs as f64;
+        assert!(
+            (seq - b1).abs() < 0.6,
+            "batch=1 ({b1}) should match sequential ({seq})"
+        );
+    }
+
+    #[test]
+    fn herd_effect_degrades_with_batch_size() {
+        // One giant batch ≈ one-choice (no usable load signal); small
+        // batches ≈ two-choice.
+        let n = 2048u32;
+        let runs = 8;
+        let avg = |batch: u64, base: u64| -> f64 {
+            (0..runs)
+                .map(|s| {
+                    batched_d_choice(n, 4 * n as u64, 2, batch, &mut rng(base + s)).max_load()
+                        as f64
+                })
+                .sum::<f64>()
+                / runs as f64
+        };
+        let small = avg(1, 0);
+        let huge = avg(4 * n as u64, 500);
+        assert!(
+            small + 0.5 < huge,
+            "herd effect missing: batch=1 {small} vs single round {huge}"
+        );
+    }
+
+    #[test]
+    fn single_round_from_empty_equals_one_choice() {
+        // With an all-zero snapshot every comparison is a tie broken
+        // uniformly between two uniform bins — which IS one-choice. A
+        // single fully parallel round therefore matches one-choice
+        // distributionally (Adler et al.'s lower-bound intuition: one
+        // round of communication buys nothing).
+        let n = 4096u32;
+        let runs = 10;
+        let one: f64 = (0..runs)
+            .map(|s| crate::one_choice(n, n as u64, &mut rng(s)).max_load() as f64)
+            .sum::<f64>()
+            / runs as f64;
+        let round: f64 = (0..runs)
+            .map(|s| {
+                batched_d_choice(n, n as u64, 2, n as u64, &mut rng(700 + s)).max_load() as f64
+            })
+            .sum::<f64>()
+            / runs as f64;
+        assert!(
+            (round - one).abs() < 0.8,
+            "single round ({round}) should equal one-choice ({one})"
+        );
+    }
+
+    #[test]
+    fn partial_final_batch_handled() {
+        let r = batched_d_choice(10, 25, 2, 10, &mut rng(3));
+        assert!(r.check_conservation());
+        assert_eq!(r.m, 25);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = batched_d_choice(64, 500, 3, 16, &mut rng(9));
+        let b = batched_d_choice(64, 500, 3, 16, &mut rng(9));
+        assert_eq!(a, b);
+    }
+}

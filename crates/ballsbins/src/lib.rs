@@ -1,0 +1,35 @@
+//! Classic balls-into-bins allocation processes.
+//!
+//! The paper's analysis is anchored in the balanced-allocations literature:
+//! Example 1 reduces Strategy II (with `M = K`, `r = ∞`) to the standard
+//! two-choice process of Azar–Broder–Karlin–Upfal, and Theorem 4 rides on
+//! Kenthapadi–Panigrahi's *balanced allocation on graphs* (their Theorem 5).
+//! This crate implements those reference processes so the cache-network
+//! results can be compared against their idealized counterparts:
+//!
+//! * [`one_choice`] — each ball to a uniform bin; max load
+//!   `Θ(log n / log log n)` at `m = n`.
+//! * [`d_choice`] — Greedy\[d\] (Azar et al. \[5\]): max load
+//!   `ln ln n / ln d + Θ(1)`.
+//! * [`one_plus_beta`] — the (1+β)-choice process (Peres–Talwar–Wieder).
+//! * [`graph_two_choice`] — a uniform random **edge** of a graph `G`, ball
+//!   to the lesser-loaded endpoint (Kenthapadi–Panigrahi \[10\]).
+//! * [`neighbor_two_choice`] — uniform node, then uniform neighbor (the
+//!   variant analyzed for dense regular graphs; identical to edge-uniform
+//!   on regular graphs).
+//! * heavily-loaded helpers for the `m ≫ n` regime (Berenbrink et al.
+//!   \[9\]): the two-choice *gap* `m/n + O(log log n)` is independent of m.
+//!
+//! All processes break load ties **uniformly at random** (as the paper's
+//! Definition 3 requires), which matters for exact distributional claims.
+
+pub mod batched;
+pub mod metrics;
+pub mod process;
+
+pub use batched::batched_d_choice;
+pub use metrics::AllocationResult;
+pub use process::{
+    d_choice, graph_two_choice, neighbor_two_choice, one_choice, one_plus_beta,
+    two_choice,
+};

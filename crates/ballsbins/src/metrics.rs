@@ -1,0 +1,110 @@
+//! Result type shared by all allocation processes.
+
+use paba_util::Histogram;
+
+/// The outcome of throwing `m` balls into `n` bins under some policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllocationResult {
+    /// Final load of each bin.
+    pub loads: Vec<u32>,
+    /// Number of balls thrown.
+    pub m: u64,
+}
+
+impl AllocationResult {
+    /// Number of bins.
+    pub fn n(&self) -> u32 {
+        self.loads.len() as u32
+    }
+
+    /// Maximum load `max_i T_i` — the paper's primary balance metric.
+    pub fn max_load(&self) -> u32 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Minimum load.
+    pub fn min_load(&self) -> u32 {
+        self.loads.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Average load `m/n`.
+    pub fn mean_load(&self) -> f64 {
+        if self.loads.is_empty() {
+            0.0
+        } else {
+            self.m as f64 / self.loads.len() as f64
+        }
+    }
+
+    /// Gap above the average: `max_i T_i − m/n` (the heavily-loaded
+    /// metric of Berenbrink et al.).
+    pub fn gap(&self) -> f64 {
+        self.max_load() as f64 - self.mean_load()
+    }
+
+    /// Number of empty bins.
+    pub fn empty_bins(&self) -> usize {
+        self.loads.iter().filter(|&&l| l == 0).count()
+    }
+
+    /// Load histogram (bucket = load value).
+    pub fn histogram(&self) -> Histogram {
+        let mut h = Histogram::with_capacity(self.max_load() as usize + 1);
+        for &l in &self.loads {
+            h.record(l as usize);
+        }
+        h
+    }
+
+    /// Internal consistency: loads must sum to `m`.
+    pub fn check_conservation(&self) -> bool {
+        self.loads.iter().map(|&l| l as u64).sum::<u64>() == self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AllocationResult {
+        AllocationResult {
+            loads: vec![0, 3, 1, 0, 2],
+            m: 6,
+        }
+    }
+
+    #[test]
+    fn basic_metrics() {
+        let r = sample();
+        assert_eq!(r.n(), 5);
+        assert_eq!(r.max_load(), 3);
+        assert_eq!(r.min_load(), 0);
+        assert!((r.mean_load() - 1.2).abs() < 1e-12);
+        assert!((r.gap() - 1.8).abs() < 1e-12);
+        assert_eq!(r.empty_bins(), 2);
+        assert!(r.check_conservation());
+    }
+
+    #[test]
+    fn histogram_matches_loads() {
+        let h = sample().histogram();
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(3), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn conservation_detects_mismatch() {
+        let mut r = sample();
+        r.m = 7;
+        assert!(!r.check_conservation());
+    }
+
+    #[test]
+    fn empty_allocation() {
+        let r = AllocationResult { loads: vec![], m: 0 };
+        assert_eq!(r.max_load(), 0);
+        assert_eq!(r.mean_load(), 0.0);
+        assert!(r.check_conservation());
+    }
+}

@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks for the hot kernels underneath every
+//! experiment: placement generation, strategy queries, topology
+//! primitives, and configuration-graph construction.
+//!
+//! These exist to catch performance regressions in the simulator itself
+//! (the figure benches measure the *paper's* quantities, not wall time).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use paba_core::{
+    build_config_graph, simulate, CacheNetwork, ConfigGraphMethod, NearestReplica,
+    ProximityChoice,
+};
+use paba_popularity::{AliasTable, Popularity};
+use paba_topology::Torus;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_topology(c: &mut Criterion) {
+    let t = Torus::new(330); // n ≈ 1.1e5, the Fig-3 scale
+    let mut g = c.benchmark_group("torus");
+    g.bench_function("dist", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            let a = rng.gen_range(0..t.n());
+            let bb = rng.gen_range(0..t.n());
+            black_box(t.dist(a, bb))
+        })
+    });
+    g.bench_function("ball_iter_r8", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            t.for_each_in_ball(black_box(7_000), 8, |v| acc += v as u64);
+            black_box(acc)
+        })
+    });
+    g.bench_function("sample_in_ball_r8", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| black_box(t.sample_in_ball(7_000, 8, &mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let weights: Vec<f64> = (1..=2000).map(|i| 1.0 / (i as f64)).collect();
+    let table = AliasTable::new(&weights);
+    c.bench_function("alias_sample_k2000", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| black_box(table.sample(&mut rng)))
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement");
+    for (side, k, m) in [(45u32, 500u32, 10u32), (128, 2000, 10)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{}_K{k}_M{m}", side * side)),
+            &(side, k, m),
+            |b, &(side, k, m)| {
+                let mut rng = SmallRng::seed_from_u64(4);
+                b.iter(|| {
+                    black_box(
+                        CacheNetwork::builder()
+                            .torus_side(side)
+                            .library(k, Popularity::Uniform)
+                            .cache_size(m)
+                            .build(&mut rng),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let net = CacheNetwork::builder()
+        .torus_side(45)
+        .library(500, Popularity::Uniform)
+        .cache_size(10)
+        .build(&mut rng);
+    let n = net.n() as u64;
+    let mut g = c.benchmark_group("simulate_n2025_K500_M10");
+    g.bench_function("nearest_full_run", |b| {
+        let mut run_rng = SmallRng::seed_from_u64(6);
+        b.iter(|| {
+            let mut s = NearestReplica::new();
+            black_box(simulate(&net, &mut s, n, &mut run_rng))
+        })
+    });
+    g.bench_function("two_choice_r8_full_run", |b| {
+        let mut run_rng = SmallRng::seed_from_u64(7);
+        b.iter(|| {
+            let mut s = ProximityChoice::two_choice(Some(8));
+            black_box(simulate(&net, &mut s, n, &mut run_rng))
+        })
+    });
+    g.bench_function("two_choice_rinf_full_run", |b| {
+        let mut run_rng = SmallRng::seed_from_u64(8);
+        b.iter(|| {
+            let mut s = ProximityChoice::two_choice(None);
+            black_box(simulate(&net, &mut s, n, &mut run_rng))
+        })
+    });
+    g.finish();
+}
+
+fn bench_config_graph(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let net = CacheNetwork::builder()
+        .torus_side(32)
+        .library(1024, Popularity::Uniform)
+        .cache_size(11)
+        .build(&mut rng);
+    c.bench_function("config_graph_n1024_r6", |b| {
+        b.iter(|| black_box(build_config_graph(&net, Some(6), ConfigGraphMethod::Auto)))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_topology, bench_sampling, bench_placement, bench_strategies, bench_config_graph
+}
+criterion_main!(kernels);

@@ -1,0 +1,133 @@
+//! **Theorems 4 & 6** — maximum-load scaling of Strategy II.
+//!
+//! * Theorem 4: `K = n`, `M = n^α`, `r = n^β` with
+//!   `α + 2β ≥ 1 + 2 log log n / log n` ⇒ `L = Θ(log log n)` and
+//!   `C = Θ(r)`. We sweep `n` at `α = 0.3` with β at the theorem's minimum
+//!   (condition satisfied) and at `β = 0.15` (condition violated) and
+//!   contrast the growth of `L / ln ln n`.
+//! * Theorem 6: `M = K` (full replication) with any
+//!   `β = Ω(log log n / log n)` ⇒ `L = Θ(log log n)` at tiny cost. We use
+//!   a fixed small radius ladder.
+
+use paba_bench::{emit, header, NetPoint, StrategyKind};
+use paba_core::PlacementPolicy;
+use paba_theory::theorem4_min_beta;
+use paba_util::envcfg::EnvCfg;
+use paba_util::Table;
+
+fn main() {
+    let cfg = EnvCfg::from_env();
+    let runs = cfg.runs(8, 120, 1_000);
+    header(
+        "Theorems 4 & 6: Strategy II max-load scaling",
+        "Thm 4 (K=n, M=n^0.3, r=n^beta) and Thm 6 (M=K, small r)",
+        &cfg,
+        runs,
+    );
+
+    let sides: Vec<u32> = cfg.pick(
+        vec![32, 64],
+        vec![32, 45, 64, 91, 128, 181],
+        vec![32, 45, 64, 91, 128, 181, 256],
+    );
+    let alpha = 0.3f64;
+
+    // --- Theorem 4: condition satisfied vs violated ---
+    let mut points = Vec::new();
+    let mut labels = Vec::new();
+    for &s in &sides {
+        let n = (s * s) as f64;
+        let m = (n.powf(alpha).round() as u32).max(2);
+        let beta_ok = theorem4_min_beta(n, alpha);
+        let r_ok = (n.powf(beta_ok).ceil() as u32).max(1);
+        let r_bad = (n.powf(0.15).ceil() as u32).max(1);
+        points.push((
+            NetPoint::uniform(s, s * s, m),
+            StrategyKind::two_choice(Some(r_ok)),
+        ));
+        points.push((
+            NetPoint::uniform(s, s * s, m),
+            StrategyKind::two_choice(Some(r_bad)),
+        ));
+        labels.push((m, r_ok, r_bad));
+    }
+    let res = paba_bench::sweep_points(&points, runs, cfg.seed);
+
+    let mut t4 = Table::new([
+        "n",
+        "M",
+        "r(ok)",
+        "L(ok)",
+        "L(ok)/lnln n",
+        "C(ok)",
+        "r(bad)",
+        "L(bad)",
+        "L(bad)/lnln n",
+    ]);
+    for (i, &s) in sides.iter().enumerate() {
+        let n = (s * s) as f64;
+        let lll = n.ln().ln();
+        let (m, r_ok, r_bad) = labels[i];
+        let ok = &res[2 * i];
+        let bad = &res[2 * i + 1];
+        t4.push_row([
+            format!("{}", s * s),
+            format!("{m}"),
+            format!("{r_ok}"),
+            format!("{:.3}", ok.max_load.mean),
+            format!("{:.3}", ok.max_load.mean / lll),
+            format!("{:.2}", ok.cost.mean),
+            format!("{r_bad}"),
+            format!("{:.3}", bad.max_load.mean),
+            format!("{:.3}", bad.max_load.mean / lll),
+        ]);
+    }
+    emit("thm4_regimes", &t4);
+    println!(
+        "Theorem 4 check: in the satisfied regime L/lnln n stays ~constant and \
+         C = Θ(r); violating the density condition (small beta) leaves the max \
+         load higher and growing.\n"
+    );
+
+    // --- Theorem 6: M = K, tiny radius ---
+    let k_small = 16u32;
+    let points_t6: Vec<(NetPoint, StrategyKind)> = sides
+        .iter()
+        .map(|&s| {
+            let n = (s * s) as f64;
+            // Theorem 6 asks for r = n^β with β = Ω(log log n / log n);
+            // note n^{loglog n / log n} = ln n exactly, so we take the
+            // genuinely tiny radius r = ⌈ln n⌉. (The theorem's proof
+            // additionally wants Δ = Θ(r²) ≫ log⁴ n, which no laptop-scale
+            // n satisfies — log⁴ n > n until n ≈ 10⁷ — yet the balance
+            // already appears, matching the paper's own Figure 5 where
+            // M = 200 reaches optimal balance by r ≈ 3.)
+            let r = (n.ln().ceil() as u32).max(3);
+            let mut p = NetPoint::uniform(s, k_small, k_small);
+            p.policy = PlacementPolicy::FullLibrary;
+            (p, StrategyKind::two_choice(Some(r)))
+        })
+        .collect();
+    let res_t6 = paba_bench::sweep_points(&points_t6, runs, cfg.seed ^ 0xabcd);
+
+    let mut t6 = Table::new(["n", "r", "L (mean)", "L/lnln n", "C (hops)"]);
+    for (i, &s) in sides.iter().enumerate() {
+        let n = (s * s) as f64;
+        let StrategyKind::Proximity { radius: Some(r), .. } = points_t6[i].1 else {
+            unreachable!()
+        };
+        t6.push_row([
+            format!("{}", s * s),
+            format!("{r}"),
+            format!("{:.3}", res_t6[i].max_load.mean),
+            format!("{:.3}", res_t6[i].max_load.mean / n.ln().ln()),
+            format!("{:.2}", res_t6[i].cost.mean),
+        ]);
+    }
+    emit("thm6_full_replication", &t6);
+    println!(
+        "Theorem 6 check: with M=K even r = ln n (= n^(loglog n/log n), ~7-11 hops \
+         here) achieves the Θ(log log n) balance of unconstrained two-choice, at a \
+         cost C = Θ(r) far below the Θ(sqrt n) of r = inf."
+    );
+}

@@ -1,0 +1,396 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use paba_core::{
+    simulate as run_simulation, CacheNetwork, LeastLoadedInBall, NearestReplica,
+    PlacementPolicy, ProximityChoice, SimReport, StaleLoad,
+};
+use paba_popularity::Popularity;
+use paba_topology::Torus;
+use paba_util::{Summary, Table};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Print the global help text.
+pub fn print_help() {
+    println!(
+        "paba — proximity-aware balanced allocations in cache networks
+(Pourmiri, Jafari Siavoshani, Shariatpanahi; IPDPS 2017)
+
+USAGE:
+  paba simulate [options]    run the static cache-network model
+  paba queue [options]       run the continuous-time (supermarket) model
+  paba ballsbins [options]   run a classic balls-into-bins process
+  paba help                  show this text
+
+SIMULATE OPTIONS (defaults in parentheses):
+  --side N          torus side, n = side^2 (45)
+  --files K         library size (500)
+  --cache M         cache slots per server (10)
+  --gamma G         Zipf exponent, 0 = uniform (0)
+  --placement P     proportional | distinct | full | dht (proportional)
+  --strategy S      nearest | two-choice | d-choice | least-loaded (two-choice)
+  --radius R        proximity radius, integer or 'inf' (inf)
+  --choices D       number of choices for d-choice (2)
+  --stale P         refresh load info only every P requests (1 = fresh)
+  --requests Q      requests per run (n)
+  --runs R          Monte-Carlo runs (20)
+  --seed S          master seed (20170529)
+  --grid            use the bounded grid instead of the torus
+  --csv             emit CSV instead of a table
+
+QUEUE OPTIONS:
+  --side/--files/--cache/--gamma/--radius/--choices/--seed as above
+  --lambda L        per-server arrival rate in (0,1) (0.8)
+  --horizon T       simulated time (2000)
+  --warmup T        measurement warm-up (500)
+
+BALLSBINS OPTIONS:
+  --process P       one | two | d | beta | batched (two)
+  --bins N          number of bins (4096)
+  --balls M         number of balls (= bins)
+  --d D             choices for 'd'/'batched' (3)
+  --beta B          beta for 'beta' (0.5)
+  --batch B         batch size for 'batched' (64)
+  --runs/--seed     as above"
+    );
+}
+
+const SIM_KEYS: &[&str] = &[
+    "side", "files", "cache", "gamma", "placement", "strategy", "radius", "choices",
+    "stale", "requests", "runs", "seed", "grid", "csv",
+];
+
+fn popularity(gamma: f64) -> Popularity {
+    if gamma == 0.0 {
+        Popularity::Uniform
+    } else {
+        Popularity::zipf(gamma)
+    }
+}
+
+/// Three summaries every run family reports.
+#[derive(Debug)]
+pub(crate) struct SimStats {
+    max_load: Summary,
+    cost: Summary,
+    fallback: Summary,
+}
+
+fn summarize_reports(reports: &[SimReport]) -> SimStats {
+    SimStats {
+        max_load: paba_mcrunner::summarize(reports.iter().map(|r| r.max_load() as f64)),
+        cost: paba_mcrunner::summarize(reports.iter().map(|r| r.comm_cost())),
+        fallback: paba_mcrunner::summarize(reports.iter().map(|r| r.fallback_fraction())),
+    }
+}
+
+/// `paba simulate`.
+pub(crate) fn simulate_cmd_impl(a: &Args) -> Result<(SimStats, usize), String> {
+    let unknown = a.unknown_keys(SIM_KEYS);
+    if !unknown.is_empty() {
+        return Err(format!("unknown option(s): {unknown:?} (see 'paba help')"));
+    }
+    let side: u32 = a.parse_or("side", 45)?;
+    let k: u32 = a.parse_or("files", 500)?;
+    let m: u32 = a.parse_or("cache", 10)?;
+    let gamma: f64 = a.parse_or("gamma", 0.0)?;
+    let radius = a.radius("radius")?;
+    let choices: u32 = a.parse_or("choices", 2)?;
+    let stale: u64 = a.parse_or("stale", 1)?;
+    let runs: usize = a.parse_or("runs", 20)?;
+    let seed: u64 = a.parse_or("seed", paba_util::envcfg::DEFAULT_SEED)?;
+    let requests_opt: u64 = a.parse_or("requests", 0)?;
+    let strategy = a.str_or("strategy", "two-choice");
+    if !matches!(
+        strategy.as_str(),
+        "nearest" | "two-choice" | "d-choice" | "least-loaded"
+    ) {
+        return Err(format!("--strategy: unknown strategy '{strategy}'"));
+    }
+    let placement = a.str_or("placement", "proportional");
+    if a.flag("grid") {
+        return Err("--grid: the CLI currently drives the torus; use the library API \
+                    (CacheNetworkBuilder::build_grid) for grid runs"
+            .into());
+    }
+
+    let policy = match placement.as_str() {
+        "proportional" => PlacementPolicy::ProportionalWithReplacement,
+        "distinct" => PlacementPolicy::ProportionalDistinct,
+        "full" => PlacementPolicy::FullLibrary,
+        "dht" => PlacementPolicy::ProportionalWithReplacement, // replaced below
+        other => return Err(format!("--placement: unknown policy '{other}'")),
+    };
+
+    let reports: Vec<SimReport> =
+        paba_mcrunner::run_parallel(runs, seed, None, |run_idx, rng| {
+            let net: CacheNetwork<Torus> = if placement == "dht" {
+                let library = paba_core::Library::new(k, popularity(gamma));
+                let p = paba_dht::dht_placement(
+                    side * side,
+                    &library,
+                    &paba_dht::DhtPlacementConfig {
+                        vnodes: 128,
+                        salt: paba_util::mix_seed(seed, run_idx as u64),
+                        rule: paba_dht::ReplicationRule::Proportional { m },
+                    },
+                );
+                CacheNetwork::from_parts(Torus::new(side), library, p)
+            } else {
+                CacheNetwork::builder()
+                    .torus_side(side)
+                    .library(k, popularity(gamma))
+                    .cache_size(m)
+                    .placement_policy(policy)
+                    .build(rng)
+            };
+            let requests = if requests_opt == 0 {
+                net.n() as u64
+            } else {
+                requests_opt
+            };
+            let run =
+                |s: &mut dyn FnMut(&CacheNetwork<Torus>, &mut SmallRng) -> SimReport,
+                 rng: &mut SmallRng| s(&net, rng);
+            match strategy.as_str() {
+                "nearest" => run(
+                    &mut |net, rng| {
+                        let mut s = NearestReplica::new();
+                        run_simulation(net, &mut s, requests, rng)
+                    },
+                    rng,
+                ),
+                "two-choice" | "d-choice" => run(
+                    &mut |net, rng| {
+                        let d = if strategy == "two-choice" { 2 } else { choices };
+                        if stale > 1 {
+                            let mut s =
+                                StaleLoad::new(ProximityChoice::with_choices(radius, d), stale);
+                            run_simulation(net, &mut s, requests, rng)
+                        } else {
+                            let mut s = ProximityChoice::with_choices(radius, d);
+                            run_simulation(net, &mut s, requests, rng)
+                        }
+                    },
+                    rng,
+                ),
+                "least-loaded" => run(
+                    &mut |net, rng| {
+                        let mut s = LeastLoadedInBall::new(radius);
+                        run_simulation(net, &mut s, requests, rng)
+                    },
+                    rng,
+                ),
+                other => unreachable!("strategy '{other}' was validated before spawning"),
+            }
+        });
+    Ok((summarize_reports(&reports), runs))
+}
+
+/// `paba simulate` with printing.
+pub fn simulate(a: &Args) -> Result<(), String> {
+    let (stats, runs) = simulate_cmd_impl(a)?;
+    let mut t = Table::new(["metric", "mean", "ci95", "min", "max"]);
+    for (name, s) in [
+        ("max load L", &stats.max_load),
+        ("comm cost C (hops)", &stats.cost),
+        ("fallback fraction", &stats.fallback),
+    ] {
+        t.push_row([
+            name.to_string(),
+            format!("{:.4}", s.mean),
+            format!("±{:.4}", 1.96 * s.std_err),
+            format!("{:.4}", s.min),
+            format!("{:.4}", s.max),
+        ]);
+    }
+    if a.flag("csv") {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{runs} runs:");
+        print!("{}", t.to_markdown());
+    }
+    Ok(())
+}
+
+/// `paba queue`.
+pub fn queue(a: &Args) -> Result<(), String> {
+    let known = [
+        "side", "files", "cache", "gamma", "radius", "choices", "lambda", "horizon",
+        "warmup", "seed", "csv",
+    ];
+    let unknown = a.unknown_keys(&known);
+    if !unknown.is_empty() {
+        return Err(format!("unknown option(s): {unknown:?} (see 'paba help')"));
+    }
+    let side: u32 = a.parse_or("side", 24)?;
+    let k: u32 = a.parse_or("files", 32)?;
+    let m: u32 = a.parse_or("cache", 8)?;
+    let gamma: f64 = a.parse_or("gamma", 0.0)?;
+    let radius = a.radius("radius")?;
+    let choices: u32 = a.parse_or("choices", 2)?;
+    let lambda: f64 = a.parse_or("lambda", 0.8)?;
+    let horizon: f64 = a.parse_or("horizon", 2_000.0)?;
+    let warmup: f64 = a.parse_or("warmup", 500.0)?;
+    let seed: u64 = a.parse_or("seed", paba_util::envcfg::DEFAULT_SEED)?;
+    if !(0.0..1.0).contains(&lambda) || lambda == 0.0 {
+        return Err(format!("--lambda must be in (0,1), got {lambda}"));
+    }
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let net = CacheNetwork::builder()
+        .torus_side(side)
+        .library(k, popularity(gamma))
+        .cache_size(m)
+        .build(&mut rng);
+    let mut strat = ProximityChoice::with_choices(radius, choices);
+    let cfg = paba_supermarket::QueueSimConfig {
+        lambda,
+        horizon,
+        warmup,
+        tail_cap: 24,
+    };
+    let rep = paba_supermarket::simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+
+    let mut t = Table::new(["metric", "value"]);
+    t.push_row(["servers n".to_string(), format!("{}", rep.n)]);
+    t.push_row(["lambda".to_string(), format!("{lambda}")]);
+    t.push_row(["max queue".to_string(), format!("{}", rep.max_queue)]);
+    t.push_row(["mean queue".to_string(), format!("{:.4}", rep.mean_queue)]);
+    t.push_row([
+        "mean response".to_string(),
+        format!("{:.4}", rep.mean_response),
+    ]);
+    t.push_row([
+        "Little's-law response".to_string(),
+        format!("{:.4}", rep.littles_law_response()),
+    ]);
+    t.push_row(["comm cost (hops)".to_string(), format!("{:.4}", rep.comm_cost)]);
+    for kq in 1..=6usize {
+        t.push_row([format!("Pr[Q >= {kq}]"), format!("{:.5}", rep.tail_at(kq))]);
+    }
+    if a.flag("csv") {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.to_markdown());
+    }
+    Ok(())
+}
+
+/// `paba ballsbins`.
+pub fn ballsbins(a: &Args) -> Result<(), String> {
+    let known = ["process", "bins", "balls", "d", "beta", "batch", "runs", "seed", "csv"];
+    let unknown = a.unknown_keys(&known);
+    if !unknown.is_empty() {
+        return Err(format!("unknown option(s): {unknown:?} (see 'paba help')"));
+    }
+    let process = a.str_or("process", "two");
+    let n: u32 = a.parse_or("bins", 4096)?;
+    let m: u64 = a.parse_or("balls", n as u64)?;
+    let d: u32 = a.parse_or("d", 3)?;
+    let beta: f64 = a.parse_or("beta", 0.5)?;
+    let batch: u64 = a.parse_or("batch", 64)?;
+    let runs: usize = a.parse_or("runs", 20)?;
+    let seed: u64 = a.parse_or("seed", paba_util::envcfg::DEFAULT_SEED)?;
+    if !matches!(process.as_str(), "one" | "two" | "d" | "beta" | "batched") {
+        return Err(format!("--process: unknown process '{process}'"));
+    }
+
+    let maxes: Vec<f64> = paba_mcrunner::run_parallel(runs, seed, None, |_i, rng| {
+        let res = match process.as_str() {
+            "one" => paba_ballsbins::one_choice(n, m, rng),
+            "two" => paba_ballsbins::two_choice(n, m, rng),
+            "d" => paba_ballsbins::d_choice(n, m, d, rng),
+            "beta" => paba_ballsbins::one_plus_beta(n, m, beta, rng),
+            "batched" => paba_ballsbins::batched_d_choice(n, m, d, batch, rng),
+            _ => unreachable!("validated above"),
+        };
+        res.max_load() as f64
+    });
+    let s = paba_mcrunner::summarize(maxes.iter().copied());
+    let mut t = Table::new(["process", "bins", "balls", "max load (mean)", "ci95", "min", "max"]);
+    t.push_row([
+        process,
+        format!("{n}"),
+        format!("{m}"),
+        format!("{:.4}", s.mean),
+        format!("±{:.4}", 1.96 * s.std_err),
+        format!("{}", s.min),
+        format!("{}", s.max),
+    ]);
+    if a.flag("csv") {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.to_markdown());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn simulate_small_run_works() {
+        let a = args("simulate --side 8 --files 20 --cache 3 --runs 3 --radius 3");
+        let (stats, runs) = simulate_cmd_impl(&a).unwrap();
+        assert_eq!(runs, 3);
+        assert!(stats.max_load.mean >= 1.0);
+        assert!(stats.cost.mean >= 0.0);
+    }
+
+    #[test]
+    fn simulate_nearest_and_least_loaded() {
+        for strat in ["nearest", "least-loaded", "d-choice"] {
+            let a = args(&format!(
+                "simulate --side 6 --files 10 --cache 2 --runs 2 --strategy {strat}"
+            ));
+            let (stats, _) = simulate_cmd_impl(&a).unwrap();
+            assert!(stats.max_load.mean >= 1.0, "{strat}");
+        }
+    }
+
+    #[test]
+    fn simulate_dht_placement() {
+        let a = args("simulate --side 8 --files 30 --cache 3 --runs 2 --placement dht");
+        let (stats, _) = simulate_cmd_impl(&a).unwrap();
+        assert!(stats.max_load.mean >= 1.0);
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_options() {
+        let a = args("simulate --sid 8");
+        assert!(simulate_cmd_impl(&a).unwrap_err().contains("sid"));
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_strategy() {
+        let a = args("simulate --strategy magic");
+        assert!(simulate(&a).unwrap_err().contains("magic"));
+    }
+
+    #[test]
+    fn queue_validates_lambda() {
+        let a = args("queue --lambda 1.5");
+        assert!(queue(&a).unwrap_err().contains("lambda"));
+    }
+
+    #[test]
+    fn ballsbins_runs_every_process() {
+        for p in ["one", "two", "d", "beta", "batched"] {
+            let a = args(&format!("ballsbins --process {p} --bins 64 --balls 64 --runs 2"));
+            assert!(ballsbins(&a).is_ok(), "{p}");
+        }
+    }
+
+    #[test]
+    fn ballsbins_rejects_unknown_process() {
+        let a = args("ballsbins --process three");
+        assert!(ballsbins(&a).unwrap_err().contains("three"));
+    }
+}

@@ -1,0 +1,39 @@
+//! `paba` — command-line front end for the cache-network simulator.
+//!
+//! ```text
+//! paba simulate --side 45 --files 500 --cache 20 --strategy two-choice --radius 8 --runs 50
+//! paba queue    --side 24 --lambda 0.9 --radius 4 --choices 2
+//! paba ballsbins --process two --bins 4096 --balls 4096 --runs 20
+//! paba help
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            commands::print_help();
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_deref() {
+        Some("simulate") => commands::simulate(&parsed),
+        Some("queue") => commands::queue(&parsed),
+        Some("ballsbins") => commands::ballsbins(&parsed),
+        Some("help") | None => {
+            commands::print_help();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}' (try 'paba help')")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,259 @@
+//! The cache network: topology + library + placement, wired together.
+
+use crate::library::Library;
+use crate::placement::{Placement, PlacementPolicy};
+use paba_popularity::Popularity;
+use paba_topology::{Grid, Topology, Torus};
+use rand::Rng;
+
+/// A fully instantiated cache network (the paper's §II-B model): `n`
+/// servers on a topology, a `K`-file library with popularity `P`, and a
+/// concrete cache placement.
+#[derive(Clone, Debug)]
+pub struct CacheNetwork<T: Topology> {
+    topo: T,
+    library: Library,
+    placement: Placement,
+    cached_file_count: u32,
+}
+
+impl<T: Topology> CacheNetwork<T> {
+    /// Assemble a network from parts (placement must match `topo.n()` and
+    /// `library.k()`).
+    ///
+    /// # Panics
+    /// On any shape mismatch.
+    pub fn from_parts(topo: T, library: Library, placement: Placement) -> Self {
+        assert_eq!(placement.n(), topo.n(), "placement/topology node count");
+        assert_eq!(placement.k(), library.k(), "placement/library size");
+        let cached_file_count =
+            (0..library.k()).filter(|&f| placement.replica_count(f) > 0).count() as u32;
+        Self {
+            topo,
+            library,
+            placement,
+            cached_file_count,
+        }
+    }
+
+    /// The topology.
+    #[inline]
+    pub fn topo(&self) -> &T {
+        &self.topo
+    }
+
+    /// The library.
+    #[inline]
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// The placement.
+    #[inline]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Number of servers `n`.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.topo.n()
+    }
+
+    /// Library size `K`.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.library.k()
+    }
+
+    /// Cache size `M`.
+    #[inline]
+    pub fn m(&self) -> u32 {
+        self.placement.m()
+    }
+
+    /// Number of files with at least one replica.
+    #[inline]
+    pub fn cached_file_count(&self) -> u32 {
+        self.cached_file_count
+    }
+
+    /// Draw a file id from the library's popularity profile.
+    #[inline]
+    pub fn sample_file<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        self.library.sample_file(rng)
+    }
+}
+
+impl CacheNetwork<Torus> {
+    /// Start a [`CacheNetworkBuilder`] (torus topology; call
+    /// [`CacheNetworkBuilder::build_grid`] for the bounded grid).
+    pub fn builder() -> CacheNetworkBuilder {
+        CacheNetworkBuilder::default()
+    }
+}
+
+/// Fluent builder for [`CacheNetwork`] on a [`Torus`] or [`Grid`].
+///
+/// ```
+/// use paba_core::{CacheNetwork, PlacementPolicy};
+/// use paba_popularity::Popularity;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let net = CacheNetwork::builder()
+///     .torus_side(10)
+///     .library(100, Popularity::zipf(0.8))
+///     .cache_size(5)
+///     .build(&mut rng);
+/// assert_eq!(net.n(), 100);
+/// assert_eq!(net.m(), 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CacheNetworkBuilder {
+    side: u32,
+    k: u32,
+    popularity: Popularity,
+    m: u32,
+    policy: PlacementPolicy,
+}
+
+impl Default for CacheNetworkBuilder {
+    fn default() -> Self {
+        Self {
+            side: 10,
+            k: 100,
+            popularity: Popularity::Uniform,
+            m: 1,
+            policy: PlacementPolicy::ProportionalWithReplacement,
+        }
+    }
+}
+
+impl CacheNetworkBuilder {
+    /// Side length of the lattice (`n = side²`).
+    pub fn torus_side(mut self, side: u32) -> Self {
+        self.side = side;
+        self
+    }
+
+    /// Number of nodes; must be a perfect square.
+    pub fn nodes(mut self, n: u32) -> Self {
+        let side = (n as f64).sqrt().round() as u32;
+        assert!(side * side == n, "n={n} is not a perfect square");
+        self.side = side;
+        self
+    }
+
+    /// Library size and popularity profile.
+    pub fn library(mut self, k: u32, popularity: Popularity) -> Self {
+        self.k = k;
+        self.popularity = popularity;
+        self
+    }
+
+    /// Cache size `M` (number of placement draws per node).
+    pub fn cache_size(mut self, m: u32) -> Self {
+        self.m = m;
+        self
+    }
+
+    /// Placement policy (default: the paper's with-replacement model).
+    pub fn placement_policy(mut self, policy: PlacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Build on a torus (the paper's default topology).
+    pub fn build<R: Rng + ?Sized>(self, rng: &mut R) -> CacheNetwork<Torus> {
+        let topo = Torus::new(self.side);
+        let library = Library::new(self.k, self.popularity.clone());
+        let placement =
+            Placement::generate(topo.n(), &library, self.m, self.policy, rng);
+        CacheNetwork::from_parts(topo, library, placement)
+    }
+
+    /// Build on a bounded grid (Remark 1 ablation).
+    pub fn build_grid<R: Rng + ?Sized>(self, rng: &mut R) -> CacheNetwork<Grid> {
+        let topo = Grid::new(self.side);
+        let library = Library::new(self.k, self.popularity.clone());
+        let placement =
+            Placement::generate(topo.n(), &library, self.m, self.policy, rng);
+        CacheNetwork::from_parts(topo, library, placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_wires_everything() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = CacheNetwork::builder()
+            .torus_side(6)
+            .library(20, Popularity::Uniform)
+            .cache_size(3)
+            .build(&mut rng);
+        assert_eq!(net.n(), 36);
+        assert_eq!(net.k(), 20);
+        assert_eq!(net.m(), 3);
+        assert!(net.cached_file_count() <= 20);
+        assert!(net.cached_file_count() > 0);
+    }
+
+    #[test]
+    fn nodes_accepts_perfect_square() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let net = CacheNetwork::builder()
+            .nodes(2025)
+            .library(10, Popularity::Uniform)
+            .cache_size(1)
+            .build(&mut rng);
+        assert_eq!(net.n(), 2025);
+        assert_eq!(net.topo().side(), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a perfect square")]
+    fn nodes_rejects_non_square() {
+        let _ = CacheNetwork::builder().nodes(2026);
+    }
+
+    #[test]
+    fn grid_build_works() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let net = CacheNetwork::builder()
+            .torus_side(5)
+            .library(8, Popularity::Uniform)
+            .cache_size(2)
+            .build_grid(&mut rng);
+        assert_eq!(net.n(), 25);
+        assert_eq!(net.topo().diameter(), 8); // grid 2(side−1), torus would be 4
+    }
+
+    #[test]
+    fn full_library_policy() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let net = CacheNetwork::builder()
+            .torus_side(4)
+            .library(12, Popularity::Uniform)
+            .cache_size(999) // ignored by FullLibrary
+            .placement_policy(PlacementPolicy::FullLibrary)
+            .build(&mut rng);
+        assert_eq!(net.m(), 12);
+        assert_eq!(net.cached_file_count(), 12);
+        assert!(net.placement().is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "placement/topology")]
+    fn from_parts_rejects_mismatch() {
+        let topo = Torus::new(3);
+        let library = Library::new(5, Popularity::Uniform);
+        let placement = Placement::full(8, 5); // 8 ≠ 9 nodes
+        let _ = CacheNetwork::from_parts(topo, library, placement);
+    }
+}

@@ -1,0 +1,632 @@
+//! Cache content placement (the paper's §II-B placement phase).
+//!
+//! Each of the `n` servers caches `M` files drawn i.i.d. **with
+//! replacement** from the library's popularity distribution — the paper's
+//! "proportional" placement. Duplicated draws waste cache slots, so a
+//! node's *distinct* file count `t(u)` can be below `M`; Lemma 2 is exactly
+//! about bounding `t(u)` from below and pairwise overlaps `t(u,v)` from
+//! above. We also provide a without-replacement variant and the degenerate
+//! full-replication placement (`M = K`, used by Examples 1/4 and Theorem 6)
+//! for ablations.
+
+use crate::library::Library;
+use paba_popularity::FileId;
+use paba_topology::NodeId;
+use rand::Rng;
+
+/// How cache contents are drawn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum PlacementPolicy {
+    /// The paper's model: `M` i.i.d. draws from `P` *with replacement*.
+    #[default]
+    ProportionalWithReplacement,
+    /// `M` *distinct* files drawn proportionally to `P` (rejection
+    /// sampling); requires `M ≤ K`.
+    ProportionalDistinct,
+    /// Every node stores the entire library (the `M = K` regime). The
+    /// cache-size argument is ignored; `M` is forced to `K`.
+    FullLibrary,
+}
+
+/// An immutable placement: which node caches which files, indexed both ways.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    n: u32,
+    k: u32,
+    m: u32,
+    policy: PlacementPolicy,
+    kind: Kind,
+}
+
+#[derive(Clone, Debug)]
+enum Kind {
+    Sparse {
+        /// CSR offsets into `node_files` (length `n + 1`).
+        node_offsets: Vec<u64>,
+        /// Concatenated sorted distinct file lists, per node.
+        node_files: Vec<FileId>,
+        /// Per-file ascending node lists.
+        replicas: Vec<Vec<NodeId>>,
+    },
+    /// Every node caches every file; nothing is materialized.
+    Full,
+}
+
+impl Placement {
+    /// Generate a placement for `n` nodes over `library` with cache size
+    /// `m` under `policy`.
+    ///
+    /// # Panics
+    /// * `n == 0` or (`m == 0` under a non-full policy);
+    /// * `ProportionalDistinct` with `m > K`.
+    pub fn generate<R: Rng + ?Sized>(
+        n: u32,
+        library: &Library,
+        m: u32,
+        policy: PlacementPolicy,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n > 0, "placement needs at least one node");
+        let k = library.k();
+        match policy {
+            PlacementPolicy::FullLibrary => Self {
+                n,
+                k,
+                m: k,
+                policy,
+                kind: Kind::Full,
+            },
+            PlacementPolicy::ProportionalWithReplacement => {
+                assert!(m > 0, "cache size must be positive");
+                Self::generate_sparse(n, library, m, policy, rng, false)
+            }
+            PlacementPolicy::ProportionalDistinct => {
+                assert!(m > 0, "cache size must be positive");
+                assert!(
+                    m <= k,
+                    "distinct placement needs M ≤ K (got M={m}, K={k})"
+                );
+                // Zero-probability files can never be drawn; rejection
+                // sampling must have at least M drawable files or it
+                // would loop forever.
+                let drawable = library.weights().iter().filter(|&&w| w > 0.0).count();
+                assert!(
+                    drawable >= m as usize,
+                    "distinct placement needs ≥ M files with positive popularity \
+                     (M={m}, positive-weight files={drawable})"
+                );
+                Self::generate_sparse(n, library, m, policy, rng, true)
+            }
+        }
+    }
+
+    fn generate_sparse<R: Rng + ?Sized>(
+        n: u32,
+        library: &Library,
+        m: u32,
+        policy: PlacementPolicy,
+        rng: &mut R,
+        distinct: bool,
+    ) -> Self {
+        let k = library.k();
+        let mut node_offsets = Vec::with_capacity(n as usize + 1);
+        let mut node_files: Vec<FileId> = Vec::with_capacity((n as u64 * m as u64) as usize);
+        let mut replicas: Vec<Vec<NodeId>> = vec![Vec::new(); k as usize];
+        let mut draws: Vec<FileId> = Vec::with_capacity(m as usize);
+        node_offsets.push(0u64);
+        for u in 0..n {
+            draws.clear();
+            if distinct {
+                // Rejection-sample M distinct files proportional to P.
+                while draws.len() < m as usize {
+                    let f = library.sample_file(rng);
+                    if !draws.contains(&f) {
+                        draws.push(f);
+                    }
+                }
+                draws.sort_unstable();
+            } else {
+                for _ in 0..m {
+                    draws.push(library.sample_file(rng));
+                }
+                draws.sort_unstable();
+                draws.dedup();
+            }
+            for &f in &draws {
+                node_files.push(f);
+                replicas[f as usize].push(u);
+            }
+            node_offsets.push(node_files.len() as u64);
+        }
+        Self {
+            n,
+            k,
+            m,
+            policy,
+            kind: Kind::Sparse {
+                node_offsets,
+                node_files,
+                replicas,
+            },
+        }
+    }
+
+    /// Build a placement from explicit per-node file lists (deduplicated
+    /// and sorted internally) — the entry point for externally computed
+    /// placements such as the consistent-hashing scheme of `paba-dht`.
+    ///
+    /// `m` records the nominal cache size for reporting; each node's
+    /// distinct list may be shorter (never longer).
+    ///
+    /// # Panics
+    /// If `lists.len() != n`, any file id is `≥ k`, or any list exceeds
+    /// `m` distinct files.
+    pub fn from_node_files(n: u32, k: u32, m: u32, lists: Vec<Vec<FileId>>) -> Self {
+        assert_eq!(lists.len(), n as usize, "need one list per node");
+        let mut node_offsets = Vec::with_capacity(n as usize + 1);
+        let mut node_files: Vec<FileId> = Vec::new();
+        let mut replicas: Vec<Vec<NodeId>> = vec![Vec::new(); k as usize];
+        node_offsets.push(0u64);
+        for (u, mut files) in lists.into_iter().enumerate() {
+            files.sort_unstable();
+            files.dedup();
+            assert!(
+                files.len() <= m as usize,
+                "node {u} holds {} distinct files > M={m}",
+                files.len()
+            );
+            for &f in &files {
+                assert!(f < k, "file id {f} out of range (K={k})");
+                node_files.push(f);
+                replicas[f as usize].push(u as NodeId);
+            }
+            node_offsets.push(node_files.len() as u64);
+        }
+        Self {
+            n,
+            k,
+            m,
+            policy: PlacementPolicy::ProportionalWithReplacement,
+            kind: Kind::Sparse {
+                node_offsets,
+                node_files,
+                replicas,
+            },
+        }
+    }
+
+    /// Full-replication placement (`M = K`) without materializing `n·K`
+    /// entries.
+    pub fn full(n: u32, k: u32) -> Self {
+        assert!(n > 0 && k > 0);
+        Self {
+            n,
+            k,
+            m: k,
+            policy: PlacementPolicy::FullLibrary,
+            kind: Kind::Full,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Library size.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Cache size (number of placement draws; `= K` for full placement).
+    #[inline]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// The policy this placement was generated under.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Whether this is the implicit full-replication placement.
+    pub fn is_full(&self) -> bool {
+        matches!(self.kind, Kind::Full)
+    }
+
+    /// Number of nodes caching file `f`.
+    #[inline]
+    pub fn replica_count(&self, f: FileId) -> u32 {
+        debug_assert!(f < self.k);
+        match &self.kind {
+            Kind::Sparse { replicas, .. } => replicas[f as usize].len() as u32,
+            Kind::Full => self.n,
+        }
+    }
+
+    /// The `idx`-th node (in ascending order) caching file `f`.
+    ///
+    /// # Panics
+    /// If `idx ≥ replica_count(f)` (debug builds; unchecked release index
+    /// panics come from the underlying slice).
+    #[inline]
+    pub fn replica_at(&self, f: FileId, idx: u32) -> NodeId {
+        match &self.kind {
+            Kind::Sparse { replicas, .. } => replicas[f as usize][idx as usize],
+            Kind::Full => idx,
+        }
+    }
+
+    /// Visit each node caching `f`, in ascending node order.
+    pub fn for_each_replica<F: FnMut(NodeId)>(&self, f: FileId, mut cb: F) {
+        match &self.kind {
+            Kind::Sparse { replicas, .. } => {
+                for &u in &replicas[f as usize] {
+                    cb(u);
+                }
+            }
+            Kind::Full => {
+                for u in 0..self.n {
+                    cb(u);
+                }
+            }
+        }
+    }
+
+    /// Does node `u` cache file `f`? (O(log M) / O(1) for full.)
+    #[inline]
+    pub fn caches(&self, u: NodeId, f: FileId) -> bool {
+        match &self.kind {
+            Kind::Sparse { .. } => self.node_files(u).binary_search(&f).is_ok(),
+            Kind::Full => true,
+        }
+    }
+
+    /// Sorted distinct files cached by node `u`.
+    ///
+    /// For the full placement this would be `0..K` for every node; call
+    /// sites that support full placements should branch on
+    /// [`Placement::is_full`] instead of forcing materialization.
+    ///
+    /// # Panics
+    /// On a full placement (to avoid silently allocating `K` entries).
+    pub fn node_files(&self, u: NodeId) -> &[FileId] {
+        match &self.kind {
+            Kind::Sparse {
+                node_offsets,
+                node_files,
+                ..
+            } => {
+                let lo = node_offsets[u as usize] as usize;
+                let hi = node_offsets[u as usize + 1] as usize;
+                &node_files[lo..hi]
+            }
+            Kind::Full => panic!("node_files() is implicit (0..K) for a full placement"),
+        }
+    }
+
+    /// `t(u)`: number of distinct files cached at `u` (Definition 5).
+    #[inline]
+    pub fn t_u(&self, u: NodeId) -> u32 {
+        match &self.kind {
+            Kind::Sparse { node_offsets, .. } => {
+                (node_offsets[u as usize + 1] - node_offsets[u as usize]) as u32
+            }
+            Kind::Full => self.k,
+        }
+    }
+
+    /// `t(u, v)`: number of distinct files cached at both `u` and `v`
+    /// (Definition 5). Sorted-merge intersection, O(t(u) + t(v)).
+    pub fn t_uv(&self, u: NodeId, v: NodeId) -> u32 {
+        match &self.kind {
+            Kind::Full => self.k,
+            Kind::Sparse { .. } => {
+                let (mut a, mut b) = (self.node_files(u), self.node_files(v));
+                // Iterate the shorter list against the longer one.
+                if a.len() > b.len() {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                let mut count = 0u32;
+                let mut i = 0usize;
+                for &f in a {
+                    while i < b.len() && b[i] < f {
+                        i += 1;
+                    }
+                    if i == b.len() {
+                        break;
+                    }
+                    if b[i] == f {
+                        count += 1;
+                        i += 1;
+                    }
+                }
+                count
+            }
+        }
+    }
+
+    /// Do `u` and `v` share at least one cached file? Early-exit variant of
+    /// [`Placement::t_uv`] used when building the configuration graph.
+    pub fn shares_file(&self, u: NodeId, v: NodeId) -> bool {
+        match &self.kind {
+            Kind::Full => true,
+            Kind::Sparse { .. } => {
+                let (mut a, mut b) = (self.node_files(u), self.node_files(v));
+                if a.len() > b.len() {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                let mut i = 0usize;
+                for &f in a {
+                    while i < b.len() && b[i] < f {
+                        i += 1;
+                    }
+                    if i == b.len() {
+                        return false;
+                    }
+                    if b[i] == f {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Number of files with no replica anywhere (possible under the
+    /// with-replacement model; the request stream must handle them — see
+    /// [`crate::UncachedPolicy`]).
+    pub fn uncached_files(&self) -> u32 {
+        match &self.kind {
+            Kind::Full => 0,
+            Kind::Sparse { replicas, .. } => {
+                replicas.iter().filter(|r| r.is_empty()).count() as u32
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paba_popularity::Popularity;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn lib(k: u32) -> Library {
+        Library::new(k, Popularity::Uniform)
+    }
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn with_replacement_invariants() {
+        let library = lib(20);
+        let p = Placement::generate(
+            50,
+            &library,
+            6,
+            PlacementPolicy::ProportionalWithReplacement,
+            &mut rng(1),
+        );
+        assert_eq!(p.n(), 50);
+        assert_eq!(p.m(), 6);
+        for u in 0..50 {
+            let files = p.node_files(u);
+            assert!(!files.is_empty() && files.len() <= 6);
+            // sorted + distinct
+            assert!(files.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(p.t_u(u) as usize, files.len());
+            for &f in files {
+                assert!(p.caches(u, f));
+            }
+        }
+        // Index consistency both ways.
+        for f in 0..20u32 {
+            let cnt = p.replica_count(f);
+            for i in 0..cnt {
+                let u = p.replica_at(f, i);
+                assert!(p.caches(u, f), "file {f} replica {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_sorted_ascending() {
+        let library = lib(10);
+        let p = Placement::generate(
+            100,
+            &library,
+            3,
+            PlacementPolicy::ProportionalWithReplacement,
+            &mut rng(2),
+        );
+        for f in 0..10u32 {
+            let nodes: Vec<u32> = (0..p.replica_count(f)).map(|i| p.replica_at(f, i)).collect();
+            assert!(nodes.windows(2).all(|w| w[0] < w[1]), "file {f}: {nodes:?}");
+        }
+    }
+
+    #[test]
+    fn distinct_policy_gives_exactly_m_files() {
+        let library = lib(12);
+        let p = Placement::generate(
+            30,
+            &library,
+            5,
+            PlacementPolicy::ProportionalDistinct,
+            &mut rng(3),
+        );
+        for u in 0..30 {
+            assert_eq!(p.t_u(u), 5, "node {u}");
+        }
+    }
+
+    #[test]
+    fn distinct_policy_with_m_equal_k() {
+        let library = lib(4);
+        let p = Placement::generate(
+            10,
+            &library,
+            4,
+            PlacementPolicy::ProportionalDistinct,
+            &mut rng(4),
+        );
+        for u in 0..10 {
+            assert_eq!(p.node_files(u), &[0, 1, 2, 3]);
+        }
+        assert_eq!(p.uncached_files(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "M ≤ K")]
+    fn distinct_policy_rejects_m_above_k() {
+        let library = lib(3);
+        let _ = Placement::generate(
+            5,
+            &library,
+            4,
+            PlacementPolicy::ProportionalDistinct,
+            &mut rng(0),
+        );
+    }
+
+    #[test]
+    fn full_placement_is_implicit() {
+        let p = Placement::full(100, 1000);
+        assert!(p.is_full());
+        assert_eq!(p.m(), 1000);
+        assert_eq!(p.replica_count(999), 100);
+        assert_eq!(p.replica_at(999, 57), 57);
+        assert!(p.caches(3, 7));
+        assert_eq!(p.t_u(42), 1000);
+        assert_eq!(p.t_uv(1, 2), 1000);
+        assert!(p.shares_file(0, 99));
+        assert_eq!(p.uncached_files(), 0);
+        let mut count = 0;
+        p.for_each_replica(0, |_| count += 1);
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "implicit")]
+    fn full_placement_node_files_panics() {
+        let p = Placement::full(4, 4);
+        let _ = p.node_files(0);
+    }
+
+    #[test]
+    fn t_uv_matches_bruteforce() {
+        let library = lib(15);
+        let p = Placement::generate(
+            20,
+            &library,
+            8,
+            PlacementPolicy::ProportionalWithReplacement,
+            &mut rng(5),
+        );
+        for u in 0..20 {
+            for v in 0..20 {
+                let brute = p
+                    .node_files(u)
+                    .iter()
+                    .filter(|f| p.node_files(v).contains(f))
+                    .count() as u32;
+                assert_eq!(p.t_uv(u, v), brute, "({u},{v})");
+                assert_eq!(p.shares_file(u, v), brute > 0);
+                assert_eq!(p.t_uv(u, v), p.t_uv(v, u), "symmetry");
+            }
+            assert_eq!(p.t_uv(u, u), p.t_u(u));
+        }
+    }
+
+    #[test]
+    fn uncached_files_counted() {
+        // n=5 nodes, M=1 draw, K=50 files: most files have no replica.
+        let library = lib(50);
+        let p = Placement::generate(
+            5,
+            &library,
+            1,
+            PlacementPolicy::ProportionalWithReplacement,
+            &mut rng(6),
+        );
+        assert!(p.uncached_files() >= 45);
+        let cached: u32 = (0..50).map(|f| u32::from(p.replica_count(f) > 0)).sum();
+        assert_eq!(cached + p.uncached_files(), 50);
+    }
+
+    #[test]
+    fn from_node_files_roundtrip() {
+        let lists = vec![vec![2u32, 0, 2], vec![1], vec![], vec![0, 1, 2]];
+        let p = Placement::from_node_files(4, 3, 3, lists);
+        assert_eq!(p.node_files(0), &[0, 2]); // sorted, deduped
+        assert_eq!(p.node_files(2), &[] as &[u32]);
+        assert_eq!(p.replica_count(0), 2);
+        assert_eq!(p.replica_count(1), 2);
+        assert_eq!(p.replica_at(2, 0), 0);
+        assert_eq!(p.replica_at(2, 1), 3);
+        assert!(p.caches(3, 1));
+        assert!(!p.caches(1, 0));
+        assert_eq!(p.t_uv(0, 3), 2);
+        assert_eq!(p.uncached_files(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_node_files_rejects_bad_ids() {
+        let _ = Placement::from_node_files(1, 2, 4, vec![vec![5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one list per node")]
+    fn from_node_files_rejects_bad_arity() {
+        let _ = Placement::from_node_files(3, 2, 1, vec![vec![0]]);
+    }
+
+    #[test]
+    fn zipf_placement_respects_popularity() {
+        // Under a heavy Zipf profile the top file must collect far more
+        // replicas than a tail file.
+        let library = Library::new(100, Popularity::zipf(1.5));
+        let p = Placement::generate(
+            2000,
+            &library,
+            4,
+            PlacementPolicy::ProportionalWithReplacement,
+            &mut rng(7),
+        );
+        assert!(
+            p.replica_count(0) > 10 * p.replica_count(99).max(1),
+            "top {} vs tail {}",
+            p.replica_count(0),
+            p.replica_count(99)
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let library = lib(16);
+        let a = Placement::generate(
+            64,
+            &library,
+            4,
+            PlacementPolicy::ProportionalWithReplacement,
+            &mut rng(9),
+        );
+        let b = Placement::generate(
+            64,
+            &library,
+            4,
+            PlacementPolicy::ProportionalWithReplacement,
+            &mut rng(9),
+        );
+        for u in 0..64 {
+            assert_eq!(a.node_files(u), b.node_files(u));
+        }
+    }
+}

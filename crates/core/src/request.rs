@@ -1,0 +1,159 @@
+//! Request generation (the paper's §II-B delivery phase).
+//!
+//! `n` sequential requests arrive; each picks its origin uniformly among
+//! the `n` servers and its file from the popularity profile `P` (so the
+//! per-server demand `D_i → Po(1)` as `n` grows). Under the paper's
+//! with-replacement placement a file can end up with *zero* replicas; the
+//! theory conditions on regimes where this does not happen w.h.p., but a
+//! simulator must decide. [`UncachedPolicy`] makes that decision explicit.
+
+use crate::network::CacheNetwork;
+use paba_popularity::FileId;
+use paba_topology::{NodeId, Topology};
+use rand::Rng;
+
+/// A single content request: which node asked for which file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The requesting server (chosen uniformly).
+    pub origin: NodeId,
+    /// The requested file (popularity-distributed).
+    pub file: FileId,
+}
+
+/// What to do when a sampled file has no replica anywhere in the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum UncachedPolicy {
+    /// Redraw the file until a cached one comes up — i.e. condition the
+    /// request distribution on the cached sub-library. Keeps "n balls, all
+    /// served" exactly like the paper's balls-into-bins framing. Default.
+    #[default]
+    ResampleFile,
+    /// Serve the request at its origin (models a backhaul fetch): the
+    /// origin's load increases, zero hops are charged, and the event is
+    /// counted as [`crate::metrics::FallbackKind::Uncached`].
+    ServeAtOrigin,
+    /// Panic — for experiments whose regime guarantees full coverage and
+    /// where an uncached file indicates a configuration error.
+    Forbid,
+}
+
+impl Request {
+    /// Sample the next request for `net` under `policy`.
+    ///
+    /// # Panics
+    /// With [`UncachedPolicy::Forbid`] if the drawn file is uncached, and
+    /// with [`UncachedPolicy::ResampleFile`] if *no* file is cached.
+    pub fn sample<T: Topology, R: Rng + ?Sized>(
+        net: &CacheNetwork<T>,
+        policy: UncachedPolicy,
+        rng: &mut R,
+    ) -> Self {
+        let origin = rng.gen_range(0..net.n());
+        let mut file = net.library().sample_file(rng);
+        match policy {
+            UncachedPolicy::ResampleFile => {
+                if net.placement().replica_count(file) == 0 {
+                    assert!(
+                        net.cached_file_count() > 0,
+                        "no file has any replica; cannot resample"
+                    );
+                    while net.placement().replica_count(file) == 0 {
+                        file = net.library().sample_file(rng);
+                    }
+                }
+            }
+            UncachedPolicy::ServeAtOrigin => {}
+            UncachedPolicy::Forbid => {
+                assert!(
+                    net.placement().replica_count(file) > 0,
+                    "file {file} has no replica (UncachedPolicy::Forbid)"
+                );
+            }
+        }
+        Self { origin, file }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::CacheNetwork;
+    use paba_popularity::Popularity;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(seed: u64, k: u32, m: u32) -> CacheNetwork<paba_topology::Torus> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        CacheNetwork::builder()
+            .torus_side(5)
+            .library(k, Popularity::Uniform)
+            .cache_size(m)
+            .build(&mut rng)
+    }
+
+    #[test]
+    fn resample_only_yields_cached_files() {
+        // K much larger than total cache slots: many uncached files.
+        let net = tiny_net(3, 500, 1);
+        assert!(net.placement().uncached_files() > 0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..2000 {
+            let r = Request::sample(&net, UncachedPolicy::ResampleFile, &mut rng);
+            assert!(r.origin < net.n());
+            assert!(
+                net.placement().replica_count(r.file) > 0,
+                "resampled request hit uncached file {}",
+                r.file
+            );
+        }
+    }
+
+    #[test]
+    fn serve_at_origin_can_yield_uncached() {
+        let net = tiny_net(3, 500, 1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut saw_uncached = false;
+        for _ in 0..2000 {
+            let r = Request::sample(&net, UncachedPolicy::ServeAtOrigin, &mut rng);
+            if net.placement().replica_count(r.file) == 0 {
+                saw_uncached = true;
+            }
+        }
+        assert!(saw_uncached, "expected some uncached draws in this regime");
+    }
+
+    #[test]
+    fn forbid_passes_when_everything_cached() {
+        // K=4 files, 25 nodes with M=4 distinct: all files cached.
+        let mut rng = SmallRng::seed_from_u64(6);
+        let net = CacheNetwork::builder()
+            .torus_side(5)
+            .library(4, Popularity::Uniform)
+            .cache_size(4)
+            .placement_policy(crate::PlacementPolicy::ProportionalDistinct)
+            .build(&mut rng);
+        for _ in 0..100 {
+            let _ = Request::sample(&net, UncachedPolicy::Forbid, &mut rng);
+        }
+    }
+
+    #[test]
+    fn origins_are_uniformish() {
+        let net = tiny_net(8, 10, 2);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut counts = vec![0u32; net.n() as usize];
+        let trials = 25_000;
+        for _ in 0..trials {
+            counts[Request::sample(&net, UncachedPolicy::ResampleFile, &mut rng).origin
+                as usize] += 1;
+        }
+        let expect = trials as f64 / net.n() as f64;
+        for (u, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "origin {u}: {c} vs {expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end delivery-phase simulation.
+//!
+//! Replays the paper's experiment loop: `requests` sequential requests
+//! (origin uniform, file popularity-distributed), each assigned by the
+//! strategy *given the loads accumulated so far* — the sequential
+//! balls-into-bins dynamic all the theorems are about.
+
+use crate::metrics::SimReport;
+use crate::network::CacheNetwork;
+use crate::request::{Request, UncachedPolicy};
+use crate::strategy::{Assignment, Strategy};
+use paba_topology::Topology;
+use rand::Rng;
+
+/// Run `requests` sequential requests through `strategy` and return the
+/// aggregated [`SimReport`].
+///
+/// Uses [`UncachedPolicy::ResampleFile`] (the workspace default — see
+/// DESIGN.md §5); use [`simulate_with_policy`] to override.
+pub fn simulate<T: Topology, S: Strategy<T>, R: Rng + ?Sized>(
+    net: &CacheNetwork<T>,
+    strategy: &mut S,
+    requests: u64,
+    rng: &mut R,
+) -> SimReport {
+    simulate_with_policy(net, strategy, requests, UncachedPolicy::ResampleFile, rng)
+}
+
+/// [`simulate`] with an explicit uncached-file policy.
+pub fn simulate_with_policy<T: Topology, S: Strategy<T>, R: Rng + ?Sized>(
+    net: &CacheNetwork<T>,
+    strategy: &mut S,
+    requests: u64,
+    policy: UncachedPolicy,
+    rng: &mut R,
+) -> SimReport {
+    simulate_observed(net, strategy, requests, policy, rng, |_, _| {})
+}
+
+/// [`simulate`] variant invoking `observer(request, assignment)` after
+/// every decision — used by tests and by experiments needing per-request
+/// traces (e.g. the Lemma 3 edge-frequency check).
+pub fn simulate_observed<T, S, R, F>(
+    net: &CacheNetwork<T>,
+    strategy: &mut S,
+    requests: u64,
+    policy: UncachedPolicy,
+    rng: &mut R,
+    mut observer: F,
+) -> SimReport
+where
+    T: Topology,
+    S: Strategy<T>,
+    R: Rng + ?Sized,
+    F: FnMut(Request, Assignment),
+{
+    let mut report = SimReport::new(net.n());
+    for _ in 0..requests {
+        let req = Request::sample(net, policy, rng);
+        let a = strategy.assign(net, &report.loads, req, rng);
+        report.record(a.server, a.hops, a.fallback);
+        observer(req, a);
+    }
+    debug_assert!(report.check_conservation());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{NearestReplica, ProximityChoice};
+    use paba_popularity::Popularity;
+    use paba_topology::Torus;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> CacheNetwork<Torus> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        CacheNetwork::builder()
+            .torus_side(8)
+            .library(16, Popularity::Uniform)
+            .cache_size(3)
+            .build(&mut rng)
+    }
+
+    #[test]
+    fn report_conserves_requests() {
+        let net = net(1);
+        let mut s = NearestReplica::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let rep = simulate(&net, &mut s, 300, &mut rng);
+        assert_eq!(rep.total_requests, 300);
+        assert!(rep.check_conservation());
+        assert!(rep.max_load() >= (300 / net.n()).max(1));
+    }
+
+    #[test]
+    fn observer_sees_every_request() {
+        let net = net(3);
+        let mut s = ProximityChoice::two_choice(Some(2));
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut seen = 0u64;
+        let rep = simulate_observed(
+            &net,
+            &mut s,
+            123,
+            UncachedPolicy::ResampleFile,
+            &mut rng,
+            |req, a| {
+                seen += 1;
+                assert!(req.origin < net.n());
+                assert_eq!(a.hops, net.topo().dist(req.origin, a.server));
+            },
+        );
+        assert_eq!(seen, 123);
+        assert_eq!(rep.total_requests, 123);
+    }
+
+    #[test]
+    fn loads_are_visible_to_the_strategy_as_they_accumulate() {
+        // With a single file and full replication, two-choice spreads
+        // requests: no node should end up with more than a small multiple
+        // of the mean while a load-oblivious origin-server would not.
+        let topo = Torus::new(8);
+        let library = crate::Library::new(1, Popularity::Uniform);
+        let placement = crate::Placement::full(64, 1);
+        let net = CacheNetwork::from_parts(topo, library, placement);
+        let mut s = ProximityChoice::two_choice(None);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let rep = simulate(&net, &mut s, 64 * 8, &mut rng);
+        // mean load 8; classic two-choice keeps the max within mean+O(loglog n).
+        assert!(rep.max_load() <= 13, "max load {} too high", rep.max_load());
+    }
+
+    #[test]
+    fn zero_requests() {
+        let net = net(6);
+        let mut s = NearestReplica::new();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let rep = simulate(&net, &mut s, 0, &mut rng);
+        assert_eq!(rep.total_requests, 0);
+        assert_eq!(rep.max_load(), 0);
+    }
+
+    #[test]
+    fn serve_at_origin_policy_counts_uncached() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let sparse = CacheNetwork::builder()
+            .torus_side(4)
+            .library(500, Popularity::Uniform)
+            .cache_size(1)
+            .build(&mut rng);
+        let mut s = NearestReplica::new();
+        let rep = simulate_with_policy(
+            &sparse,
+            &mut s,
+            2000,
+            UncachedPolicy::ServeAtOrigin,
+            &mut rng,
+        );
+        assert!(rep.uncached > 0, "this regime must hit uncached files");
+        assert!(rep.check_conservation());
+    }
+}

@@ -1,0 +1,250 @@
+//! The consistent-hash ring (Karger et al., STOC 1997 — the paper's \[30\]).
+//!
+//! Servers own `V` *virtual nodes* each, hashed onto the `u64` ring; a key
+//! is served by the server owning the first virtual node at or after the
+//! key's hash (wrapping). Virtual nodes smooth the per-server arc length
+//! to `Θ(1/n)` with relative deviation `O(1/√V)`, and membership changes
+//! move only the keys in the arcs adjacent to the joining/leaving server —
+//! the *minimal disruption* property that motivates DHTs for cache
+//! networks.
+
+use paba_util::{mix_seed, mix64};
+
+/// A consistent-hash ring over servers `0..n` with `V` virtual nodes each.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// Sorted `(position, server)` pairs.
+    points: Vec<(u64, u32)>,
+    vnodes: u32,
+    salt: u64,
+}
+
+impl HashRing {
+    /// Build a ring for servers `0..n` with `vnodes` virtual nodes each.
+    /// `salt` varies the whole layout (e.g. per-experiment).
+    ///
+    /// # Panics
+    /// If `n == 0` or `vnodes == 0`.
+    pub fn new(n: u32, vnodes: u32, salt: u64) -> Self {
+        assert!(n > 0, "ring needs at least one server");
+        assert!(vnodes > 0, "need at least one virtual node per server");
+        let mut points = Vec::with_capacity(n as usize * vnodes as usize);
+        for server in 0..n {
+            for v in 0..vnodes {
+                points.push((Self::vnode_hash(server, v, salt), server));
+            }
+        }
+        points.sort_unstable();
+        // Hash collisions across distinct (server, vnode) pairs are
+        // astronomically unlikely (64-bit, ≤ 2^26 points) but would make
+        // ownership ambiguous; dedupe keeps the first owner.
+        points.dedup_by_key(|p| p.0);
+        Self {
+            points,
+            vnodes,
+            salt,
+        }
+    }
+
+    #[inline]
+    fn vnode_hash(server: u32, vnode: u32, salt: u64) -> u64 {
+        mix_seed(salt, ((server as u64) << 32) | vnode as u64)
+    }
+
+    /// Hash an arbitrary key onto the ring.
+    #[inline]
+    pub fn key_position(&self, key: u64) -> u64 {
+        mix64(key ^ self.salt.rotate_left(17))
+    }
+
+    /// Number of distinct servers on the ring.
+    pub fn server_count(&self) -> u32 {
+        let mut seen: Vec<u32> = self.points.iter().map(|&(_, s)| s).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len() as u32
+    }
+
+    /// Virtual nodes per server.
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// The server owning `key`: the successor virtual node of the key's
+    /// ring position (wrapping past the top of the key space).
+    pub fn lookup(&self, key: u64) -> u32 {
+        let pos = self.key_position(key);
+        let idx = self.points.partition_point(|&(p, _)| p < pos);
+        let idx = if idx == self.points.len() { 0 } else { idx };
+        self.points[idx].1
+    }
+
+    /// The first `k` *distinct* servers at or after `key`'s position —
+    /// the replica set in successor-list replication (the paper's \[29\]).
+    /// Returns fewer than `k` only if the ring has fewer distinct servers.
+    pub fn lookup_replicas(&self, key: u64, k: usize) -> Vec<u32> {
+        let pos = self.key_position(key);
+        let start = self.points.partition_point(|&(p, _)| p < pos);
+        let mut out: Vec<u32> = Vec::with_capacity(k);
+        for i in 0..self.points.len() {
+            let (_, server) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&server) {
+                out.push(server);
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// A new ring with server `gone` removed (its arcs fall to their
+    /// successors; everyone else's assignments are untouched).
+    ///
+    /// # Panics
+    /// If removing `gone` would empty the ring.
+    pub fn without_server(&self, gone: u32) -> Self {
+        let points: Vec<(u64, u32)> = self
+            .points
+            .iter()
+            .copied()
+            .filter(|&(_, s)| s != gone)
+            .collect();
+        assert!(!points.is_empty(), "cannot remove the last server");
+        Self {
+            points,
+            vnodes: self.vnodes,
+            salt: self.salt,
+        }
+    }
+
+    /// Fraction of `keys` whose owner differs between `self` and `other`
+    /// — the disruption metric of consistent hashing.
+    pub fn disruption(&self, other: &HashRing, keys: impl Iterator<Item = u64>) -> f64 {
+        let mut moved = 0u64;
+        let mut total = 0u64;
+        for key in keys {
+            total += 1;
+            if self.lookup(key) != other.lookup(key) {
+                moved += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            moved as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_deterministic_and_in_range() {
+        let ring = HashRing::new(16, 32, 7);
+        for key in 0..1000u64 {
+            let a = ring.lookup(key);
+            assert_eq!(a, ring.lookup(key));
+            assert!(a < 16);
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_lead_with_owner() {
+        let ring = HashRing::new(10, 16, 3);
+        for key in 0..200u64 {
+            let reps = ring.lookup_replicas(key, 4);
+            assert_eq!(reps.len(), 4);
+            assert_eq!(reps[0], ring.lookup(key), "first replica is the owner");
+            let mut sorted = reps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "replicas must be distinct");
+        }
+    }
+
+    #[test]
+    fn replicas_capped_by_server_count() {
+        let ring = HashRing::new(3, 8, 1);
+        let reps = ring.lookup_replicas(42, 10);
+        assert_eq!(reps.len(), 3);
+    }
+
+    #[test]
+    fn keys_spread_evenly_with_many_vnodes() {
+        let n = 20u32;
+        let ring = HashRing::new(n, 128, 11);
+        let mut counts = vec![0u32; n as usize];
+        let keys = 40_000u64;
+        for key in 0..keys {
+            counts[ring.lookup(key) as usize] += 1;
+        }
+        let expect = keys as f64 / n as f64;
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > 0.55 * expect && (c as f64) < 1.6 * expect,
+                "server {s} owns {c} keys vs expected {expect} — imbalance too high"
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_vnodes_means_worse_balance() {
+        let n = 20u32;
+        let spread = |vnodes: u32| -> f64 {
+            let ring = HashRing::new(n, vnodes, 5);
+            let mut counts = vec![0u32; n as usize];
+            for key in 0..20_000u64 {
+                counts[ring.lookup(key) as usize] += 1;
+            }
+            let max = *counts.iter().max().unwrap() as f64;
+            let min = *counts.iter().min().unwrap() as f64;
+            max / min.max(1.0)
+        };
+        assert!(spread(1) > spread(256), "vnodes must smooth the ring");
+    }
+
+    #[test]
+    fn minimal_disruption_on_leave() {
+        // Removing one of n servers must move ≈ 1/n of keys — and never
+        // reassign a key whose owner survives.
+        let n = 25u32;
+        let ring = HashRing::new(n, 64, 9);
+        let gone = 7u32;
+        let smaller = ring.without_server(gone);
+        let keys = 20_000u64;
+        let mut moved = 0u64;
+        for key in 0..keys {
+            let before = ring.lookup(key);
+            let after = smaller.lookup(key);
+            if before == after {
+                continue;
+            }
+            assert_eq!(before, gone, "key moved although its owner survived");
+            moved += 1;
+        }
+        let frac = moved as f64 / keys as f64;
+        let expect = 1.0 / n as f64;
+        assert!(
+            frac > 0.3 * expect && frac < 3.0 * expect,
+            "disruption {frac:.4} should be ≈ 1/n = {expect:.4}"
+        );
+        assert!((ring.disruption(&smaller, 0..keys) - frac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_salts_give_different_layouts() {
+        let a = HashRing::new(8, 16, 1);
+        let b = HashRing::new(8, 16, 2);
+        let differing = (0..500u64).filter(|&k| a.lookup(k) != b.lookup(k)).count();
+        assert!(differing > 100, "salt should reshuffle the ring ({differing})");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_ring_panics() {
+        let _ = HashRing::new(0, 4, 0);
+    }
+}

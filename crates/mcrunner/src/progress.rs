@@ -1,0 +1,91 @@
+//! Lightweight progress reporting for long experiment sweeps.
+//!
+//! Long benches (Figure 3 sweeps to n = 1.2·10⁵) should tell the user they
+//! are alive. [`Progress`] is a shared atomic counter that prints a line to
+//! stderr every ~10% of completed work — cheap enough to tick from every
+//! worker thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared completed-work counter with optional stderr reporting.
+#[derive(Debug)]
+pub struct Progress {
+    total: u64,
+    completed: AtomicU64,
+    /// Next decile to announce (×10%); u64::MAX disables printing.
+    next_announce: AtomicU64,
+}
+
+impl Progress {
+    /// Tracker for `total` units; `verbose` enables stderr lines.
+    pub fn new(total: u64, verbose: bool) -> Self {
+        Self {
+            total: total.max(1),
+            completed: AtomicU64::new(0),
+            next_announce: AtomicU64::new(if verbose { 1 } else { u64::MAX }),
+        }
+    }
+
+    /// Record one completed unit.
+    pub fn tick(&self) {
+        let done = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        let decile = done * 10 / self.total;
+        let next = self.next_announce.load(Ordering::Relaxed);
+        if decile >= next
+            && self
+                .next_announce
+                .compare_exchange(next, decile + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            eprintln!("  … {done}/{} runs ({}%)", self.total, done * 100 / self.total);
+        }
+    }
+
+    /// Units completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Total units.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_ticks() {
+        let p = Progress::new(10, false);
+        for _ in 0..7 {
+            p.tick();
+        }
+        assert_eq!(p.completed(), 7);
+        assert_eq!(p.total(), 10);
+    }
+
+    #[test]
+    fn zero_total_clamped() {
+        let p = Progress::new(0, false);
+        p.tick(); // must not divide by zero
+        assert_eq!(p.completed(), 1);
+    }
+
+    #[test]
+    fn concurrent_ticks_all_counted() {
+        let p = Progress::new(1000, false);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    for _ in 0..250 {
+                        p.tick();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(p.completed(), 1000);
+    }
+}

@@ -1,0 +1,205 @@
+//! The core parallel runner.
+
+use crate::progress::Progress;
+use paba_util::{split_seed, OnlineStats, Summary};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Execute `runs` independent runs of `run_fn` in parallel and return the
+/// outputs **in run-index order**.
+///
+/// * `run_fn(run_index, rng)` receives an RNG deterministically derived
+///   from `(master_seed, run_index)`.
+/// * `threads = None` uses available parallelism (capped at `runs`).
+///
+/// Panics in `run_fn` propagate to the caller (via crossbeam scope).
+pub fn run_parallel<O, F>(
+    runs: usize,
+    master_seed: u64,
+    threads: Option<usize>,
+    run_fn: F,
+) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize, &mut SmallRng) -> O + Sync,
+{
+    run_parallel_with_progress(runs, master_seed, threads, None, run_fn)
+}
+
+/// [`run_parallel`] with an optional shared [`Progress`] tracker that is
+/// ticked once per completed run.
+pub fn run_parallel_with_progress<O, F>(
+    runs: usize,
+    master_seed: u64,
+    threads: Option<usize>,
+    progress: Option<&Progress>,
+    run_fn: F,
+) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize, &mut SmallRng) -> O + Sync,
+{
+    if runs == 0 {
+        return Vec::new();
+    }
+    let n_threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+        .min(runs);
+
+    if n_threads == 1 {
+        // Fast single-threaded path (also keeps tests easy to reason about).
+        let mut out = Vec::with_capacity(runs);
+        for i in 0..runs {
+            let mut rng = SmallRng::seed_from_u64(split_seed(master_seed, i as u64));
+            out.push(run_fn(i, &mut rng));
+            if let Some(p) = progress {
+                p.tick();
+            }
+        }
+        return out;
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<O>>> =
+        Mutex::new((0..runs).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|_| {
+                // Batch local results to keep lock traffic low.
+                let mut local: Vec<(usize, O)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= runs {
+                        break;
+                    }
+                    let mut rng =
+                        SmallRng::seed_from_u64(split_seed(master_seed, i as u64));
+                    local.push((i, run_fn(i, &mut rng)));
+                    if let Some(p) = progress {
+                        p.tick();
+                    }
+                    if local.len() >= 64 {
+                        let mut guard = results.lock();
+                        for (idx, o) in local.drain(..) {
+                            guard[idx] = Some(o);
+                        }
+                    }
+                }
+                if !local.is_empty() {
+                    let mut guard = results.lock();
+                    for (idx, o) in local.drain(..) {
+                        guard[idx] = Some(o);
+                    }
+                }
+            });
+        }
+    })
+    .expect("a Monte-Carlo worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| o.unwrap_or_else(|| panic!("run {i} produced no output")))
+        .collect()
+}
+
+/// Fold an iterator of observations into a [`Summary`] with a fixed
+/// (sequential) accumulation order.
+pub fn summarize<I: IntoIterator<Item = f64>>(values: I) -> Summary {
+    values.into_iter().collect::<OnlineStats>().summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn outputs_in_run_order() {
+        let out = run_parallel(100, 7, Some(4), |i, _| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let f = |_i: usize, rng: &mut SmallRng| rng.gen_range(0..1_000_000u64);
+        let t1 = run_parallel(257, 99, Some(1), f);
+        let t3 = run_parallel(257, 99, Some(3), f);
+        let t8 = run_parallel(257, 99, Some(8), f);
+        assert_eq!(t1, t3);
+        assert_eq!(t1, t8);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let f = |_i: usize, rng: &mut SmallRng| rng.gen::<u64>();
+        assert_ne!(run_parallel(16, 1, None, f), run_parallel(16, 2, None, f));
+    }
+
+    #[test]
+    fn each_run_sees_distinct_rng() {
+        let outs = run_parallel(64, 5, Some(2), |_i, rng| rng.gen::<u64>());
+        let mut sorted = outs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), outs.len(), "colliding run RNGs");
+    }
+
+    #[test]
+    fn zero_runs() {
+        let outs: Vec<u32> = run_parallel(0, 0, None, |_, _| 1);
+        assert!(outs.is_empty());
+    }
+
+    #[test]
+    fn run_index_passed_correctly() {
+        let outs = run_parallel(50, 3, Some(4), |i, _| i);
+        assert_eq!(outs, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        let _ = run_parallel(8, 0, Some(2), |i, _| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn progress_ticks_once_per_run() {
+        let p = Progress::new(120, false);
+        let _ = run_parallel_with_progress(120, 1, Some(4), Some(&p), |i, _| i);
+        assert_eq!(p.completed(), 120);
+    }
+
+    #[test]
+    fn summarize_basic() {
+        let s = summarize([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn heavy_output_type_works() {
+        // Outputs with allocation (Vec) cross threads fine.
+        let outs = run_parallel(20, 4, Some(4), |i, rng: &mut SmallRng| {
+            (0..i).map(|_| rng.gen::<u8>()).collect::<Vec<u8>>()
+        });
+        for (i, v) in outs.iter().enumerate() {
+            assert_eq!(v.len(), i);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Parameter sweeps: the figure-regeneration workhorse.
+//!
+//! Every paper figure is a sweep — "max load vs `n` for each cache size
+//! `M`". [`sweep`] runs `runs_per_point` Monte-Carlo replications for each
+//! parameter point, parallelizing across the **entire** `(point, run)`
+//! grid so small points don't leave threads idle, while keeping results
+//! grouped per point and deterministic in `(master_seed, point_index,
+//! run_index)`.
+
+use crate::progress::Progress;
+use crate::runner::run_parallel_with_progress;
+use paba_util::{mix_seed, Summary};
+use rand::rngs::SmallRng;
+
+/// Results of one sweep point: the parameter and its per-run outputs (in
+/// run order).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepOutcome<P, O> {
+    /// The parameter value of this point.
+    pub param: P,
+    /// One output per Monte-Carlo run.
+    pub outputs: Vec<O>,
+}
+
+impl<P, O> SweepOutcome<P, O> {
+    /// Summarize a scalar metric extracted from each output.
+    pub fn summarize<F: FnMut(&O) -> f64>(&self, metric: F) -> Summary {
+        crate::runner::summarize(self.outputs.iter().map(metric))
+    }
+}
+
+/// Run `runs_per_point` replications of `run_fn` for every point.
+///
+/// `run_fn(param, run_index, rng)` gets an RNG derived from
+/// `(master_seed, point_index, run_index)`: changing the thread count or
+/// reordering points never changes any output.
+pub fn sweep<P, O, F>(
+    points: &[P],
+    runs_per_point: usize,
+    master_seed: u64,
+    threads: Option<usize>,
+    verbose: bool,
+    run_fn: F,
+) -> Vec<SweepOutcome<P, O>>
+where
+    P: Clone + Sync,
+    O: Send,
+    F: Fn(&P, usize, &mut SmallRng) -> O + Sync,
+{
+    let total = points.len() * runs_per_point;
+    let progress = Progress::new(total as u64, verbose);
+    // Flatten to a single work grid: job i ↦ (point i / runs, run i % runs).
+    let flat: Vec<O> = run_parallel_with_progress(
+        total,
+        master_seed,
+        threads,
+        Some(&progress),
+        |job, _outer_rng| {
+            let (pi, ri) = (job / runs_per_point, job % runs_per_point);
+            // Re-derive a seed that is stable per (point, run) regardless of
+            // how many points/runs other sweeps used.
+            let seed = mix_seed(mix_seed(master_seed, pi as u64), ri as u64);
+            let mut rng = <SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+            run_fn(&points[pi], ri, &mut rng)
+        },
+    );
+    // Regroup by point, preserving run order.
+    let mut iter = flat.into_iter();
+    points
+        .iter()
+        .map(|p| SweepOutcome {
+            param: p.clone(),
+            outputs: iter.by_ref().take(runs_per_point).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn grouping_preserves_point_and_run_order() {
+        let points = vec![10u32, 20, 30];
+        let res = sweep(&points, 4, 1, Some(3), false, |p, run, _| (*p, run));
+        assert_eq!(res.len(), 3);
+        for (i, out) in res.iter().enumerate() {
+            assert_eq!(out.param, points[i]);
+            assert_eq!(
+                out.outputs,
+                (0..4).map(|r| (points[i], r)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_threads() {
+        let points = vec![1u64, 2, 3, 4, 5];
+        let f = |p: &u64, _run: usize, rng: &mut SmallRng| *p * rng.gen_range(1..100u64);
+        let a = sweep(&points, 7, 42, Some(1), false, f);
+        let b = sweep(&points, 7, 42, Some(8), false, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn point_results_independent_of_other_points() {
+        // The same (seed, point-index, run) triple must give the same
+        // output whether or not other points exist in the sweep.
+        let f = |p: &u64, _run: usize, rng: &mut SmallRng| (*p, rng.gen::<u64>());
+        let solo = sweep(&[7u64], 3, 9, Some(2), false, f);
+        let multi = sweep(&[7u64, 8, 9], 3, 9, Some(2), false, f);
+        assert_eq!(solo[0], multi[0]);
+    }
+
+    #[test]
+    fn summarize_metric() {
+        let res = sweep(&[0u32], 100, 5, Some(2), false, |_, run, _| run as f64);
+        let s = res[0].summarize(|&o| o);
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_points() {
+        let res: Vec<SweepOutcome<u32, u32>> =
+            sweep(&[], 10, 1, None, false, |_, _, _| 0u32);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn zero_runs_per_point() {
+        let res = sweep(&[1u32, 2], 0, 1, None, false, |_, _, _| 0u32);
+        assert_eq!(res.len(), 2);
+        assert!(res.iter().all(|o| o.outputs.is_empty()));
+    }
+}

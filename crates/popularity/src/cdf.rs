@@ -1,0 +1,127 @@
+//! Inverse-CDF sampling by binary search — the O(log K) alternative to the
+//! alias table, used for cross-validation and one-shot draws.
+
+use crate::FileId;
+use rand::Rng;
+
+/// Cumulative-distribution sampler over `0..k`.
+#[derive(Clone, Debug)]
+pub struct CdfSampler {
+    /// Strictly increasing partial sums ending at ~1.0.
+    cdf: Vec<f64>,
+}
+
+impl CdfSampler {
+    /// Build from non-negative weights (need not be normalized).
+    ///
+    /// # Panics
+    /// On empty/negative/non-finite/zero-sum weights.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "cdf sampler needs ≥1 weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let sum: f64 = weights.iter().sum();
+        assert!(sum > 0.0, "weights must not all be zero");
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w / sum;
+            cdf.push(acc);
+        }
+        // Clamp the final entry so a draw of u ≈ 1.0 cannot fall off the end.
+        *cdf.last_mut().unwrap() = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of categories.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there are no categories (never: construction enforces ≥1).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw a category in O(log K).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> FileId {
+        let u: f64 = rng.gen();
+        self.quantile(u)
+    }
+
+    /// Smallest index `i` with `cdf[i] > u` (the generalized inverse CDF).
+    pub fn quantile(&self, u: f64) -> FileId {
+        debug_assert!((0.0..=1.0).contains(&u));
+        // partition_point returns the first index where the predicate fails.
+        let i = self.cdf.partition_point(|&c| c <= u);
+        i.min(self.cdf.len() - 1) as FileId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantile_boundaries() {
+        let s = CdfSampler::new(&[0.25, 0.25, 0.5]);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(0.2499), 0);
+        assert_eq!(s.quantile(0.25), 1);
+        assert_eq!(s.quantile(0.4999), 1);
+        assert_eq!(s.quantile(0.5), 2);
+        assert_eq!(s.quantile(1.0), 2);
+    }
+
+    #[test]
+    fn zero_weight_categories_skipped() {
+        let s = CdfSampler::new(&[0.0, 1.0, 0.0]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert_eq!(s.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn agrees_with_alias_table_statistically() {
+        let weights: Vec<f64> = (1..=64).map(|i| 1.0 / i as f64).collect();
+        let cdf = CdfSampler::new(&weights);
+        let alias = crate::AliasTable::new(&weights);
+        let mut rng1 = SmallRng::seed_from_u64(10);
+        let mut rng2 = SmallRng::seed_from_u64(20);
+        let trials = 100_000;
+        let mut c1 = vec![0f64; 64];
+        let mut c2 = vec![0f64; 64];
+        for _ in 0..trials {
+            c1[cdf.sample(&mut rng1) as usize] += 1.0;
+            c2[alias.sample(&mut rng2) as usize] += 1.0;
+        }
+        // Compare the two empirical distributions cellwise.
+        for i in 0..64 {
+            let diff = (c1[i] - c2[i]).abs();
+            let scale = (c1[i].max(c2[i])).sqrt().max(1.0);
+            assert!(diff < 6.0 * scale, "cat {i}: {} vs {}", c1[i], c2[i]);
+        }
+    }
+
+    #[test]
+    fn single_category_always_zero() {
+        let s = CdfSampler::new(&[42.0]);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥1 weight")]
+    fn empty_panics() {
+        let _ = CdfSampler::new(&[]);
+    }
+}

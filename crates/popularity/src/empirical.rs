@@ -1,0 +1,177 @@
+//! Empirical frequency counting and goodness-of-fit statistics.
+//!
+//! Used by the test suites to validate samplers against their target
+//! distributions, and by the experiment harnesses to report the realized
+//! request mix.
+
+use crate::FileId;
+
+/// Frequency counter over file ids `0..k`.
+#[derive(Clone, Debug)]
+pub struct FrequencyCounter {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl FrequencyCounter {
+    /// Counter for a library of `k` files.
+    pub fn new(k: u32) -> Self {
+        Self {
+            counts: vec![0; k as usize],
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, f: FileId) {
+        self.counts[f as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Observation count for file `f`.
+    pub fn count(&self, f: FileId) -> u64 {
+        self.counts[f as usize]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Empirical probabilities (`NaN`-free; zero when nothing recorded).
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Pearson χ² statistic against expected probabilities.
+    ///
+    /// Cells with zero expected probability must have zero observations
+    /// (else returns `f64::INFINITY`). Degrees of freedom are
+    /// `#nonzero cells − 1`.
+    pub fn chi_squared(&self, expected: &[f64]) -> f64 {
+        assert_eq!(expected.len(), self.counts.len(), "arity mismatch");
+        let mut stat = 0.0;
+        for (&obs, &p) in self.counts.iter().zip(expected.iter()) {
+            let e = p * self.total as f64;
+            if e == 0.0 {
+                if obs > 0 {
+                    return f64::INFINITY;
+                }
+                continue;
+            }
+            let d = obs as f64 - e;
+            stat += d * d / e;
+        }
+        stat
+    }
+
+    /// Total-variation distance between the empirical distribution and
+    /// `expected`.
+    pub fn total_variation(&self, expected: &[f64]) -> f64 {
+        assert_eq!(expected.len(), self.counts.len(), "arity mismatch");
+        0.5 * self
+            .frequencies()
+            .iter()
+            .zip(expected.iter())
+            .map(|(f, p)| (f - p).abs())
+            .sum::<f64>()
+    }
+}
+
+/// Rough upper critical value for a χ² test at ~3 standard deviations
+/// above the mean: `df + 3·√(2·df)`.
+///
+/// The χ² distribution with `df` degrees of freedom has mean `df` and
+/// variance `2·df`; this normal-approximation bound keeps the sampler tests
+/// simple without a full inverse-CDF implementation, at a false-positive
+/// rate ≈ 0.1%.
+pub fn chi_squared_critical(df: usize) -> f64 {
+    let df = df as f64;
+    df + 3.0 * (2.0 * df).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn counting() {
+        let mut c = FrequencyCounter::new(3);
+        for f in [0u32, 1, 1, 2, 2, 2] {
+            c.record(f);
+        }
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.count(2), 3);
+        let freqs = c.frequencies();
+        assert!((freqs[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_squared_zero_for_exact_match() {
+        let mut c = FrequencyCounter::new(2);
+        for _ in 0..50 {
+            c.record(0);
+        }
+        for _ in 0..50 {
+            c.record(1);
+        }
+        assert!(c.chi_squared(&[0.5, 0.5]) < 1e-12);
+    }
+
+    #[test]
+    fn chi_squared_accepts_true_distribution() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let k = 20u32;
+        let mut c = FrequencyCounter::new(k);
+        for _ in 0..100_000 {
+            c.record(rng.gen_range(0..k));
+        }
+        let expected = vec![1.0 / k as f64; k as usize];
+        let stat = c.chi_squared(&expected);
+        assert!(stat < chi_squared_critical(k as usize - 1), "χ²={stat}");
+    }
+
+    #[test]
+    fn chi_squared_rejects_wrong_distribution() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut c = FrequencyCounter::new(2);
+        for _ in 0..10_000 {
+            c.record(if rng.gen::<f64>() < 0.7 { 0 } else { 1 });
+        }
+        let stat = c.chi_squared(&[0.5, 0.5]);
+        assert!(stat > chi_squared_critical(1), "χ²={stat} should reject");
+    }
+
+    #[test]
+    fn zero_expected_cell_with_observations_is_infinite() {
+        let mut c = FrequencyCounter::new(2);
+        c.record(1);
+        assert!(c.chi_squared(&[1.0, 0.0]).is_infinite());
+    }
+
+    #[test]
+    fn total_variation_bounds() {
+        let mut c = FrequencyCounter::new(2);
+        for _ in 0..100 {
+            c.record(0);
+        }
+        assert!((c.total_variation(&[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!(c.total_variation(&[1.0, 0.0]) < 1e-12);
+    }
+
+    #[test]
+    fn empty_counter_frequencies_are_zero() {
+        let c = FrequencyCounter::new(4);
+        assert_eq!(c.frequencies(), vec![0.0; 4]);
+        assert_eq!(c.chi_squared(&[0.25; 4]), 0.0);
+    }
+}

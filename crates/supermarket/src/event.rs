@@ -1,0 +1,109 @@
+//! Event-queue plumbing: totally ordered simulation time.
+
+use std::cmp::Ordering;
+
+/// Simulation time with a total order (times are finite by construction,
+/// so `partial_cmp` never fails).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrderedTime(pub f64);
+
+impl OrderedTime {
+    /// Wrap a finite, non-negative time.
+    ///
+    /// # Panics
+    /// If `t` is NaN or negative (debug only; release trusts the engine).
+    #[inline]
+    pub fn new(t: f64) -> Self {
+        debug_assert!(t.is_finite() && t >= 0.0, "bad simulation time {t}");
+        Self(t)
+    }
+}
+
+impl Eq for OrderedTime {}
+
+impl PartialOrd for OrderedTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("times are never NaN")
+    }
+}
+
+/// A scheduled departure: (time, server). Ordered by time ascending via
+/// `Reverse` in the engine's `BinaryHeap`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Departure {
+    /// When the in-service job finishes.
+    pub time: OrderedTime,
+    /// The server it departs from.
+    pub server: u32,
+}
+
+impl PartialOrd for Departure {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Departure {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time.cmp(&other.time).then(self.server.cmp(&other.server))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn time_ordering() {
+        assert!(OrderedTime::new(1.0) < OrderedTime::new(2.0));
+        assert_eq!(OrderedTime::new(3.0), OrderedTime::new(3.0));
+        let mut v = [OrderedTime::new(2.0), OrderedTime::new(0.5), OrderedTime::new(1.0)];
+        v.sort();
+        assert_eq!(v[0].0, 0.5);
+        assert_eq!(v[2].0, 2.0);
+    }
+
+    #[test]
+    fn heap_pops_earliest_departure_first() {
+        let mut heap = BinaryHeap::new();
+        for (t, s) in [(3.0, 1u32), (1.0, 2), (2.0, 0)] {
+            heap.push(Reverse(Departure {
+                time: OrderedTime::new(t),
+                server: s,
+            }));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| heap.pop().map(|Reverse(d)| d.server))
+            .collect();
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn equal_times_tiebreak_by_server() {
+        let a = Departure {
+            time: OrderedTime::new(1.0),
+            server: 3,
+        };
+        let b = Departure {
+            time: OrderedTime::new(1.0),
+            server: 5,
+        };
+        assert!(a < b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad simulation time")]
+    #[cfg(debug_assertions)]
+    fn nan_time_rejected() {
+        let _ = OrderedTime::new(f64::NAN);
+    }
+}

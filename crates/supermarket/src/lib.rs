@@ -1,0 +1,32 @@
+//! Continuous-time queueing ("supermarket model") extension.
+//!
+//! The paper's §VI conjectures that its static balls-into-bins results
+//! carry over to the dynamic setting where requests arrive as a Poisson
+//! process and servers drain FIFO queues with exponential service — the
+//! supermarket model of Mitzenmacher \[6\] and the survey \[31\]. This
+//! crate implements that model as a discrete-event simulation **reusing
+//! the exact dispatch logic of `paba-core`'s strategies** (a queue-length
+//! vector is handed to [`paba_core::Strategy::assign`] as the load
+//! vector), so the static and dynamic experiments exercise the same
+//! decision code:
+//!
+//! * Poisson arrivals of total rate `λ·n` (`λ < 1`), uniform origins,
+//!   popularity-sampled files;
+//! * each server is an M/M/1 FIFO queue with unit service rate;
+//! * dispatch = any [`paba_core::Strategy`] (nearest replica, proximity
+//!   `d`-choice, …) evaluated against instantaneous queue lengths;
+//! * measurements over `[warmup, horizon)`: time-averaged queue-length
+//!   tail `Pr[Q ≥ k]`, maximum queue, response times (checked against
+//!   Little's law in tests), and communication cost.
+//!
+//! The classic predictions the benches compare against: random dispatch
+//! gives tail `λ^k`; two-choice dispatch gives the doubly-exponential
+//! `λ^(2^k − 1)` — the queueing analogue of `log log n` balance.
+
+pub mod event;
+pub mod report;
+pub mod sim;
+
+pub use event::OrderedTime;
+pub use report::QueueReport;
+pub use sim::{simulate_queueing, QueueSimConfig};

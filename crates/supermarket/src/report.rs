@@ -1,0 +1,99 @@
+//! Queueing-simulation measurements.
+
+/// Aggregated measurements over the window `[warmup, horizon)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueReport {
+    /// Largest queue length observed (including in-service job).
+    pub max_queue: u32,
+    /// Time-averaged mean queue length per server.
+    pub mean_queue: f64,
+    /// `tail[k]` = time-averaged fraction of servers with queue ≥ k.
+    /// `tail[0] = 1` by definition.
+    pub tail: Vec<f64>,
+    /// Mean response (sojourn) time of jobs completed in the window.
+    pub mean_response: f64,
+    /// Jobs completed in the measurement window.
+    pub completed: u64,
+    /// Jobs dispatched in the measurement window.
+    pub dispatched: u64,
+    /// Mean hop distance origin → serving queue over dispatched jobs.
+    pub comm_cost: f64,
+    /// Measurement window length.
+    pub window: f64,
+    /// Number of servers.
+    pub n: u32,
+}
+
+impl QueueReport {
+    /// Time-averaged fraction of servers with queue length ≥ `k`.
+    pub fn tail_at(&self, k: usize) -> f64 {
+        self.tail.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// Effective arrival rate into the system during the window
+    /// (jobs per unit time).
+    pub fn throughput(&self) -> f64 {
+        if self.window <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.window
+        }
+    }
+
+    /// Little's-law estimate of the mean response time:
+    /// `W = L / λ_eff`, where `L` is the time-averaged total job count.
+    ///
+    /// Should agree with the directly measured [`QueueReport::mean_response`]
+    /// at stationarity — the consistency check used in tests.
+    pub fn littles_law_response(&self) -> f64 {
+        let throughput = self.throughput();
+        if throughput <= 0.0 {
+            0.0
+        } else {
+            self.mean_queue * self.n as f64 / throughput
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueueReport {
+        QueueReport {
+            max_queue: 5,
+            mean_queue: 0.8,
+            tail: vec![1.0, 0.5, 0.2],
+            mean_response: 1.6,
+            completed: 800,
+            dispatched: 810,
+            comm_cost: 3.2,
+            window: 100.0,
+            n: 10,
+        }
+    }
+
+    #[test]
+    fn tail_access() {
+        let r = sample();
+        assert_eq!(r.tail_at(0), 1.0);
+        assert_eq!(r.tail_at(2), 0.2);
+        assert_eq!(r.tail_at(99), 0.0);
+    }
+
+    #[test]
+    fn throughput_and_littles_law() {
+        let r = sample();
+        assert!((r.throughput() - 8.0).abs() < 1e-12);
+        // L = 0.8 · 10 = 8 jobs; W = 8 / 8 = 1.0.
+        assert!((r.littles_law_response() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_window() {
+        let mut r = sample();
+        r.window = 0.0;
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.littles_law_response(), 0.0);
+    }
+}

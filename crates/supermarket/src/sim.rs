@@ -1,0 +1,370 @@
+//! The discrete-event queueing engine.
+//!
+//! State per server: a FIFO queue of job arrival times (head = in
+//! service). Two event kinds drive the clock: Poisson arrivals (rate
+//! `λ·n`) and per-server departures (service ~ Exp(1), scheduled when a
+//! job reaches the head of its queue). Dispatch decisions delegate to a
+//! [`paba_core::Strategy`] evaluated on the instantaneous queue-length
+//! vector, so the static strategies and the queueing model share one
+//! implementation of "two random nearby replicas, pick the shorter queue".
+
+use crate::event::{Departure, OrderedTime};
+use crate::report::QueueReport;
+use paba_core::{CacheNetwork, Request, Strategy, UncachedPolicy};
+use paba_topology::Topology;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Configuration of a queueing run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueueSimConfig {
+    /// Per-server arrival rate `λ` (total rate `λ·n`); must satisfy
+    /// `0 < λ < 1` for stability.
+    pub lambda: f64,
+    /// Simulation end time.
+    pub horizon: f64,
+    /// Measurements start after this time (let the system reach
+    /// stationarity first).
+    pub warmup: f64,
+    /// Track tail fractions for queue lengths `0..=tail_cap`.
+    pub tail_cap: usize,
+}
+
+impl Default for QueueSimConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 0.7,
+            horizon: 2_000.0,
+            warmup: 500.0,
+            tail_cap: 32,
+        }
+    }
+}
+
+/// Exponential variate with the given rate.
+#[inline]
+fn exp_sample<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
+    debug_assert!(rate > 0.0);
+    // gen::<f64>() ∈ [0,1); reflect to (0,1] so ln never sees 0.
+    let u = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// Run the queueing simulation.
+///
+/// # Panics
+/// If `lambda ∉ (0,1)` or `warmup ≥ horizon`.
+pub fn simulate_queueing<T, S, R>(
+    net: &CacheNetwork<T>,
+    strategy: &mut S,
+    cfg: &QueueSimConfig,
+    rng: &mut R,
+) -> QueueReport
+where
+    T: Topology,
+    S: Strategy<T>,
+    R: Rng + ?Sized,
+{
+    assert!(
+        cfg.lambda > 0.0 && cfg.lambda < 1.0,
+        "need 0 < λ < 1 for stability, got {}",
+        cfg.lambda
+    );
+    assert!(cfg.warmup < cfg.horizon, "warmup must precede horizon");
+
+    let n = net.n();
+    let total_rate = cfg.lambda * n as f64;
+    // Queue state: FIFO of arrival times; parallel integer lengths handed
+    // to the dispatch strategy.
+    let mut queues: Vec<VecDeque<f64>> = vec![VecDeque::new(); n as usize];
+    let mut lens: Vec<u32> = vec![0; n as usize];
+    let mut departures: BinaryHeap<Reverse<Departure>> = BinaryHeap::new();
+
+    // Time-averaged tail accumulators: counts[k] = #servers with len ≥ k,
+    // integral[k] = ∫ counts[k] dt over the measurement window.
+    let cap = cfg.tail_cap.max(1);
+    let mut counts: Vec<u32> = vec![0; cap + 1];
+    counts[0] = n;
+    let mut integral: Vec<f64> = vec![0.0; cap + 1];
+    let mut queue_area = 0.0f64; // ∫ Σ_i len_i dt
+
+    let mut clock;
+    let mut last = 0.0f64; // last accumulation time ≥ warmup
+    let mut next_arrival = exp_sample(total_rate, rng);
+
+    let mut max_queue = 0u32;
+    let mut completed = 0u64;
+    let mut response_sum = 0.0f64;
+    let mut dispatched = 0u64;
+    let mut hops_sum = 0.0f64;
+
+    let accumulate = |t: f64,
+                          last: &mut f64,
+                          counts: &[u32],
+                          lens: &[u32],
+                          integral: &mut [f64],
+                          queue_area: &mut f64| {
+        if t > cfg.warmup {
+            let from = last.max(cfg.warmup);
+            let dt = t - from;
+            if dt > 0.0 {
+                for (acc, &c) in integral.iter_mut().zip(counts.iter()) {
+                    *acc += c as f64 * dt;
+                }
+                let total_len: u64 = lens.iter().map(|&l| l as u64).sum();
+                *queue_area += total_len as f64 * dt;
+            }
+            *last = t;
+        }
+    };
+
+    loop {
+        // Next event: arrival or earliest departure.
+        let next_departure = departures.peek().map(|Reverse(d)| d.time.0);
+        let (t, is_arrival) = match next_departure {
+            Some(dt) if dt <= next_arrival => (dt, false),
+            _ => (next_arrival, true),
+        };
+        if t >= cfg.horizon {
+            accumulate(
+                cfg.horizon,
+                &mut last,
+                &counts,
+                &lens,
+                &mut integral,
+                &mut queue_area,
+            );
+            break;
+        }
+        accumulate(t, &mut last, &counts, &lens, &mut integral, &mut queue_area);
+        clock = t;
+
+        if is_arrival {
+            next_arrival = clock + exp_sample(total_rate, rng);
+            let req = Request::sample(net, UncachedPolicy::ResampleFile, rng);
+            let a = strategy.assign(net, &lens, req, rng);
+            let s = a.server as usize;
+            queues[s].push_back(clock);
+            lens[s] += 1;
+            let new_len = lens[s];
+            if (new_len as usize) <= cap {
+                counts[new_len as usize] += 1;
+            }
+            max_queue = max_queue.max(new_len);
+            if clock >= cfg.warmup {
+                dispatched += 1;
+                hops_sum += a.hops as f64;
+            }
+            if new_len == 1 {
+                departures.push(Reverse(Departure {
+                    time: OrderedTime::new(clock + exp_sample(1.0, rng)),
+                    server: a.server,
+                }));
+            }
+        } else {
+            let Reverse(dep) = departures.pop().expect("peeked departure");
+            let s = dep.server as usize;
+            let arrived = queues[s].pop_front().expect("departure from empty queue");
+            let old_len = lens[s];
+            if (old_len as usize) <= cap {
+                counts[old_len as usize] -= 1;
+            }
+            lens[s] -= 1;
+            if clock >= cfg.warmup {
+                completed += 1;
+                response_sum += clock - arrived;
+            }
+            if lens[s] > 0 {
+                departures.push(Reverse(Departure {
+                    time: OrderedTime::new(clock + exp_sample(1.0, rng)),
+                    server: dep.server,
+                }));
+            }
+        }
+    }
+
+    let window = cfg.horizon - cfg.warmup;
+    let tail: Vec<f64> = integral
+        .iter()
+        .map(|&a| a / (window * n as f64))
+        .collect();
+    QueueReport {
+        max_queue,
+        mean_queue: queue_area / (window * n as f64),
+        tail,
+        mean_response: if completed > 0 {
+            response_sum / completed as f64
+        } else {
+            0.0
+        },
+        completed,
+        dispatched,
+        comm_cost: if dispatched > 0 {
+            hops_sum / dispatched as f64
+        } else {
+            0.0
+        },
+        window,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paba_core::{Library, Placement, ProximityChoice};
+    use paba_popularity::Popularity;
+    use paba_topology::Torus;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Full-replication network: every node serves every file, isolating
+    /// pure queueing behaviour.
+    fn full_net(side: u32) -> CacheNetwork<Torus> {
+        let topo = Torus::new(side);
+        let library = Library::new(4, Popularity::Uniform);
+        let placement = Placement::full(side * side, 4);
+        CacheNetwork::from_parts(topo, library, placement)
+    }
+
+    #[test]
+    fn mm1_sanity_single_server() {
+        // n = 1 with any dispatch = an M/M/1 queue: time-averaged number
+        // in system L = ρ/(1−ρ), tail Pr[N ≥ k] = ρ^k.
+        let net = full_net(1);
+        let mut strat = ProximityChoice::with_choices(None, 1);
+        let cfg = QueueSimConfig {
+            lambda: 0.5,
+            horizon: 60_000.0,
+            warmup: 2_000.0,
+            tail_cap: 16,
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+        assert!(
+            (rep.mean_queue - 1.0).abs() < 0.12,
+            "M/M/1 L = 1 expected, got {}",
+            rep.mean_queue
+        );
+        for (k, expect) in [(1usize, 0.5), (2, 0.25), (3, 0.125)] {
+            assert!(
+                (rep.tail_at(k) - expect).abs() < 0.05,
+                "tail({k}) = {} vs ρ^{k} = {expect}",
+                rep.tail_at(k)
+            );
+        }
+    }
+
+    #[test]
+    fn littles_law_consistency() {
+        let net = full_net(8);
+        let mut strat = ProximityChoice::two_choice(None);
+        let cfg = QueueSimConfig {
+            lambda: 0.8,
+            horizon: 4_000.0,
+            warmup: 500.0,
+            tail_cap: 32,
+        };
+        let mut rng = SmallRng::seed_from_u64(2);
+        let rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+        let direct = rep.mean_response;
+        let littles = rep.littles_law_response();
+        assert!(
+            (direct - littles).abs() / direct < 0.1,
+            "Little's law: direct {direct} vs L/λ {littles}"
+        );
+    }
+
+    #[test]
+    fn two_choice_tail_is_much_lighter_than_random() {
+        // The supermarket effect (paper §VI / Mitzenmacher): at λ = 0.9,
+        // Pr[Q ≥ 4] is ≈ λ^4 ≈ 0.66 for random dispatch but
+        // ≈ λ^(2^4−1) ≈ 0.21 for two-choice.
+        let net = full_net(16);
+        let cfg = QueueSimConfig {
+            lambda: 0.9,
+            horizon: 3_000.0,
+            warmup: 1_000.0,
+            tail_cap: 32,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut random = ProximityChoice::with_choices(None, 1);
+        let r_rand = simulate_queueing(&net, &mut random, &cfg, &mut rng);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut two = ProximityChoice::two_choice(None);
+        let r_two = simulate_queueing(&net, &mut two, &cfg, &mut rng);
+        assert!(
+            r_two.tail_at(4) < 0.6 * r_rand.tail_at(4),
+            "supermarket effect missing: two-choice {} vs random {}",
+            r_two.tail_at(4),
+            r_rand.tail_at(4)
+        );
+        assert!(r_two.max_queue <= r_rand.max_queue);
+    }
+
+    #[test]
+    fn radius_caps_communication_cost() {
+        let net = full_net(12);
+        let cfg = QueueSimConfig {
+            lambda: 0.6,
+            horizon: 500.0,
+            warmup: 100.0,
+            tail_cap: 16,
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut strat = ProximityChoice::two_choice(Some(2));
+        let rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+        assert!(rep.comm_cost <= 2.0, "cost {} exceeds radius", rep.comm_cost);
+        assert!(rep.comm_cost > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let net = full_net(6);
+        let cfg = QueueSimConfig::default();
+        let run = |seed| {
+            let mut strat = ProximityChoice::two_choice(Some(3));
+            let mut rng = SmallRng::seed_from_u64(seed);
+            simulate_queueing(&net, &mut strat, &cfg, &mut rng)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).completed, run(10).completed);
+    }
+
+    #[test]
+    fn conservation_of_jobs() {
+        let net = full_net(5);
+        let cfg = QueueSimConfig {
+            lambda: 0.5,
+            horizon: 1_000.0,
+            warmup: 0.0,
+            tail_cap: 8,
+        };
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut strat = ProximityChoice::two_choice(None);
+        let rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+        // Everything completed was dispatched; what's left is in queues.
+        assert!(rep.completed <= rep.dispatched);
+        // Throughput ≈ λ·n at stationarity.
+        let expect = 0.5 * net.n() as f64;
+        assert!(
+            (rep.throughput() - expect).abs() < 0.15 * expect,
+            "throughput {} vs λn {expect}",
+            rep.throughput()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < λ < 1")]
+    fn unstable_lambda_rejected() {
+        let net = full_net(3);
+        let mut strat = ProximityChoice::two_choice(None);
+        let cfg = QueueSimConfig {
+            lambda: 1.2,
+            ..Default::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+    }
+}

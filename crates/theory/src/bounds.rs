@@ -1,0 +1,111 @@
+//! Appendix A tail bounds (Chernoff forms) and derived tolerance helpers.
+//!
+//! The paper's Theorem 7 states, for a sum `X` of independent 0/1
+//! variables and `δ ∈ (0,1)`:
+//!
+//! * `Pr[X ≥ (1+δ)·E X] ≤ exp(−δ²·E X / 2)`
+//! * `Pr[X ≤ (1−δ)·E X] ≤ exp(−δ²·E X / 3)`
+//!
+//! The statistical tests in this workspace invert these bounds to choose
+//! deviation tolerances with known failure probabilities, instead of
+//! hard-coding magic constants.
+
+/// Chernoff upper-tail bound: `Pr[X ≥ (1+δ)µ] ≤ exp(−δ²µ/2)`.
+///
+/// # Panics
+/// If `delta ∉ (0, 1)` or `mu < 0`.
+pub fn chernoff_upper(mu: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "δ must be in (0,1)");
+    assert!(mu >= 0.0);
+    (-delta * delta * mu / 2.0).exp()
+}
+
+/// Chernoff lower-tail bound: `Pr[X ≤ (1−δ)µ] ≤ exp(−δ²µ/3)`.
+///
+/// # Panics
+/// If `delta ∉ (0, 1)` or `mu < 0`.
+pub fn chernoff_lower(mu: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "δ must be in (0,1)");
+    assert!(mu >= 0.0);
+    (-delta * delta * mu / 3.0).exp()
+}
+
+/// Two-sided bound: `Pr[|X − µ| ≥ δµ] ≤ 2·exp(−δ²µ/3)`.
+pub fn chernoff_two_sided(mu: f64, delta: f64) -> f64 {
+    (2.0 * chernoff_lower(mu, delta)).min(1.0)
+}
+
+/// Smallest relative deviation `δ` for which the two-sided Chernoff bound
+/// certifies failure probability at most `p_fail`:
+/// `δ = √(3·ln(2/p_fail)/µ)` (capped at 1).
+///
+/// Use: `tolerance_for(µ, 1e-9)` gives a deviation such that a correct
+/// simulation fails the assertion with probability `≤ 1e-9`.
+///
+/// # Panics
+/// If `mu ≤ 0` or `p_fail ∉ (0, 1)`.
+pub fn tolerance_for(mu: f64, p_fail: f64) -> f64 {
+    assert!(mu > 0.0, "mean must be positive");
+    assert!(p_fail > 0.0 && p_fail < 1.0, "p_fail must be in (0,1)");
+    ((3.0 * (2.0 / p_fail).ln()) / mu).sqrt().min(1.0)
+}
+
+/// Binomial standard deviation `√(n·p·(1−p))`, the normal-approximation
+/// scale used in sampler tests.
+pub fn binomial_sigma(n: f64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    assert!(n >= 0.0);
+    (n * p * (1.0 - p)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_decrease_in_mu_and_delta() {
+        assert!(chernoff_upper(100.0, 0.5) < chernoff_upper(10.0, 0.5));
+        assert!(chernoff_upper(100.0, 0.5) < chernoff_upper(100.0, 0.1));
+        assert!(chernoff_lower(100.0, 0.5) < chernoff_lower(10.0, 0.5));
+    }
+
+    #[test]
+    fn upper_tighter_than_lower_at_same_params() {
+        // exp(−δ²µ/2) ≤ exp(−δ²µ/3)
+        assert!(chernoff_upper(50.0, 0.3) <= chernoff_lower(50.0, 0.3));
+    }
+
+    #[test]
+    fn two_sided_capped_at_one() {
+        assert_eq!(chernoff_two_sided(0.001, 0.01), 1.0);
+        assert!(chernoff_two_sided(1e4, 0.2) < 1e-50);
+    }
+
+    #[test]
+    fn tolerance_inverts_bound() {
+        let mu = 5000.0;
+        let p = 1e-9;
+        let delta = tolerance_for(mu, p);
+        // Plugging δ back in must certify ≤ p.
+        assert!(chernoff_two_sided(mu, delta.min(0.999)) <= p * 1.0001);
+    }
+
+    #[test]
+    fn tolerance_shrinks_with_mu() {
+        assert!(tolerance_for(1e6, 1e-9) < tolerance_for(1e3, 1e-9));
+        assert!(tolerance_for(1.0, 1e-9) <= 1.0);
+    }
+
+    #[test]
+    fn binomial_sigma_known_values() {
+        assert!((binomial_sigma(100.0, 0.5) - 5.0).abs() < 1e-12);
+        assert_eq!(binomial_sigma(100.0, 0.0), 0.0);
+        assert_eq!(binomial_sigma(100.0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "δ must be in (0,1)")]
+    fn invalid_delta_panics() {
+        let _ = chernoff_upper(10.0, 1.5);
+    }
+}

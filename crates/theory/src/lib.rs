@@ -1,0 +1,34 @@
+//! Closed-form asymptotic predictions from Pourmiri, Jafari Siavoshani &
+//! Shariatpanahi, "Proximity-Aware Balanced Allocations in Cache Networks"
+//! (IPDPS 2017).
+//!
+//! The experiment harnesses compare *measured* quantities against the
+//! paper's Theorems; this crate centralizes the formulas so EXPERIMENTS.md
+//! has a single source of truth:
+//!
+//! * [`asymptotics`] — maximum-load laws: one-choice
+//!   `ln n / ln ln n`, Greedy\[d\] `ln ln n / ln d`, the
+//!   Kenthapadi–Panigrahi bound of Theorem 5, and the Theorem 4 regime
+//!   condition `α + 2β ≥ 1 + 2 log log n / log n`.
+//! * [`zipf`] — generalized harmonic numbers `Λ(γ)` and the Theorem 3
+//!   communication-cost regimes (the paper's equation (1)), both as exact
+//!   series and as fitted-exponent predictions.
+//! * [`goodness`] — Lemma 2's placement-goodness parameters
+//!   `δ = (1−α)/3`, `µ ≥ 5/(1−2α)` and expected distinct/overlap counts.
+//! * [`bounds`] — the Appendix A tail bounds (Chernoff forms) used to set
+//!   statistical tolerances in the test suite.
+
+pub mod asymptotics;
+pub mod bounds;
+pub mod goodness;
+pub mod zipf;
+
+pub use asymptotics::{
+    d_choice_max_load, kp_max_load_bound, one_choice_max_load, theorem4_condition_met,
+    theorem4_min_beta, two_choice_max_load,
+};
+pub use goodness::{expected_distinct_files, expected_overlap, goodness_delta, goodness_mu};
+pub use zipf::{
+    generalized_harmonic, nearest_cost_series, uniform_nearest_cost, zipf_cost_exponent_in_k,
+    CostRegime,
+};

@@ -1,0 +1,381 @@
+//! Compressed-sparse-row (CSR) graphs.
+//!
+//! Used for the paper's *configuration graph* `H` (Definition 4) — whose
+//! almost-regularity drives Theorem 4 via Kenthapadi–Panigrahi's Theorem 5 —
+//! and as the substrate for the graph-based two-choice baseline in
+//! `paba-ballsbins`.
+
+use crate::NodeId;
+use paba_util::FxHashSet;
+
+/// Incremental edge-list builder producing a [`CsrGraph`].
+///
+/// Duplicate edges and self-loops are dropped; edges are undirected.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: u32,
+    edges: FxHashSet<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph on `n` nodes with no edges yet.
+    pub fn new(n: u32) -> Self {
+        Self {
+            n,
+            edges: FxHashSet::default(),
+        }
+    }
+
+    /// Add the undirected edge `{a, b}`. Self-loops are ignored; duplicate
+    /// insertions are idempotent. Returns `true` if the edge was new.
+    ///
+    /// # Panics
+    /// If either endpoint is out of range.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        assert!(a < self.n && b < self.n, "edge endpoint out of range");
+        if a == b {
+            return false;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.edges.insert(key)
+    }
+
+    /// Number of (unique, undirected) edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freeze into CSR form.
+    pub fn build(self) -> CsrGraph {
+        let n = self.n as usize;
+        let mut degree = vec![0u32; n];
+        for &(a, b) in &self.edges {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        offsets.push(0u64);
+        for &d in &degree {
+            acc += d as u64;
+            offsets.push(acc);
+        }
+        let mut adjacency = vec![0u32; acc as usize];
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        for &(a, b) in &self.edges {
+            adjacency[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+            adjacency[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        // Sort each adjacency run for deterministic iteration and O(log d)
+        // membership queries.
+        for v in 0..n {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            adjacency[lo..hi].sort_unstable();
+        }
+        CsrGraph {
+            offsets,
+            adjacency,
+            m: self.edges.len() as u64,
+        }
+    }
+}
+
+/// An undirected graph in compressed-sparse-row form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `adjacency` for node `v`.
+    offsets: Vec<u64>,
+    adjacency: Vec<NodeId>,
+    m: u64,
+}
+
+impl CsrGraph {
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of undirected edges `e(G)`.
+    #[inline]
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.adjacency[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// O(log d) membership query for the edge `{a, b}`.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterate over each undirected edge once, as `(min, max)` pairs in
+    /// ascending order of the smaller endpoint.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n()).flat_map(move |v| {
+            self.neighbors(v)
+                .iter()
+                .copied()
+                .filter(move |&w| v < w)
+                .map(move |w| (v, w))
+        })
+    }
+
+    /// Degree statistics across all nodes.
+    pub fn degree_stats(&self) -> DegreeStats {
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        let mut isolated = 0u32;
+        for v in 0..self.n() {
+            let d = self.degree(v);
+            min = min.min(d);
+            max = max.max(d);
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        if self.n() == 0 {
+            min = 0;
+        }
+        DegreeStats {
+            min,
+            max,
+            mean: if self.n() == 0 {
+                0.0
+            } else {
+                2.0 * self.m as f64 / self.n() as f64
+            },
+            isolated,
+        }
+    }
+
+    /// Whether every node can reach every other node (BFS from node 0).
+    /// The empty graph and the single-node graph count as connected.
+    pub fn is_connected(&self) -> bool {
+        let n = self.n() as usize;
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::with_capacity(64);
+        seen[0] = true;
+        queue.push_back(0u32);
+        let mut visited = 1usize;
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    visited += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        visited == n
+    }
+
+    /// Uniform random undirected edge, as an (ordered) endpoint pair.
+    ///
+    /// Samples a uniform *directed* edge (a slot of the adjacency array)
+    /// and returns `(tail, head)`; since each undirected edge owns exactly
+    /// two slots, the undirected edge is uniform. O(log n) per draw.
+    ///
+    /// # Panics
+    /// If the graph has no edges.
+    pub fn sample_edge<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> (NodeId, NodeId) {
+        assert!(self.m > 0, "cannot sample an edge of an empty graph");
+        let slot = rng.gen_range(0..self.adjacency.len() as u64);
+        // The tail is the node whose CSR range contains `slot`.
+        let tail = match self.offsets.binary_search(&slot) {
+            // `slot` is the start of some node's range; skip nodes with
+            // empty ranges that share the same offset.
+            Ok(mut i) => {
+                while self.offsets[i + 1] == slot {
+                    i += 1;
+                }
+                i as NodeId
+            }
+            Err(i) => (i - 1) as NodeId,
+        };
+        (tail, self.adjacency[slot as usize])
+    }
+
+    /// `max degree / min degree` — the "almost Δ-regular" diagnostic used
+    /// when validating Lemma 3 (`∞` if some node is isolated).
+    pub fn regularity_ratio(&self) -> f64 {
+        let s = self.degree_stats();
+        if s.min == 0 {
+            f64::INFINITY
+        } else {
+            s.max as f64 / s.min as f64
+        }
+    }
+}
+
+/// Min/max/mean degree and isolated-node count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: u32,
+    /// Maximum degree.
+    pub max: u32,
+    /// Mean degree `2m/n`.
+    pub mean: f64,
+    /// Number of degree-0 nodes.
+    pub isolated: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: u32) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n {
+            b.add_edge(v - 1, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builder_dedups_and_drops_self_loops() {
+        let mut b = GraphBuilder::new(4);
+        assert!(b.add_edge(0, 1));
+        assert!(!b.add_edge(1, 0), "reversed duplicate");
+        assert!(!b.add_edge(0, 1), "exact duplicate");
+        assert!(!b.add_edge(2, 2), "self loop");
+        assert_eq!(b.edge_count(), 1);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let mut b = GraphBuilder::new(5);
+        for (a, bb) in [(3, 1), (3, 0), (3, 4), (1, 0)] {
+            b.add_edge(a, bb);
+        }
+        let g = b.build();
+        assert_eq!(g.neighbors(3), &[0, 1, 4]);
+        for v in 0..g.n() {
+            for &w in g.neighbors(v) {
+                assert!(g.has_edge(w, v), "asymmetric edge {v}-{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_edge(3, 0);
+        let g = b.build();
+        let mut es: Vec<_> = g.edges().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degree_stats_and_regularity() {
+        let g = path_graph(5);
+        let s = g.degree_stats();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 1.6).abs() < 1e-12);
+        assert_eq!(s.isolated, 0);
+        assert!((g.regularity_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_node_gives_infinite_ratio() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert!(g.regularity_ratio().is_infinite());
+        assert_eq!(g.degree_stats().isolated, 1);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(path_graph(10).is_connected());
+        assert!(path_graph(1).is_connected());
+        assert!(GraphBuilder::new(0).build().is_connected());
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        assert!(!b.build().is_connected());
+    }
+
+    #[test]
+    fn has_edge_queries() {
+        let g = path_graph(4);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn sample_edge_is_uniform_over_edges() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        // A graph with heterogeneous degrees AND isolated node 4 (empty CSR
+        // range), which exercises the offset binary-search edge case.
+        let mut b = GraphBuilder::new(6);
+        for (x, y) in [(0, 1), (0, 2), (0, 3), (2, 3), (5, 0)] {
+            b.add_edge(x, y);
+        }
+        let g = b.build();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut counts: std::collections::HashMap<(u32, u32), u64> =
+            std::collections::HashMap::new();
+        let trials = 50_000;
+        for _ in 0..trials {
+            let (a, bb) = g.sample_edge(&mut rng);
+            assert!(g.has_edge(a, bb), "sampled non-edge ({a},{bb})");
+            let key = if a < bb { (a, bb) } else { (bb, a) };
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 5, "all edges should be reachable");
+        let expect = trials as f64 / 5.0;
+        for (&e, &c) in &counts {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "edge {e:?}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn sample_edge_empty_panics() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let g = GraphBuilder::new(3).build();
+        let _ = g.sample_edge(&mut SmallRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,183 @@
+//! The [`Topology`] trait: the geometric interface the cache-network
+//! strategies are generic over.
+//!
+//! Strategy code in `paba-core` only needs distances, neighborhood
+//! enumeration, and uniform in-ball sampling, so both [`crate::Torus`]
+//! (the paper's model) and [`crate::Grid`] (Remark 1 ablation) plug in.
+
+use crate::NodeId;
+use rand::Rng;
+
+/// A finite 2D lattice topology with an integer hop metric.
+///
+/// All methods must be consistent: `for_each_in_ball(u, r)` visits exactly
+/// the nodes `v` with `dist(u, v) ≤ r`, each once, and `ball_size_at`
+/// counts them.
+pub trait Topology: Clone + Send + Sync {
+    /// Number of nodes.
+    fn n(&self) -> u32;
+
+    /// Side length of the underlying `side × side` lattice.
+    fn side(&self) -> u32;
+
+    /// Hop distance between two nodes.
+    fn dist(&self, a: NodeId, b: NodeId) -> u32;
+
+    /// Maximum distance between any two nodes.
+    fn diameter(&self) -> u32;
+
+    /// Number of nodes within distance `r` of `u` (including `u`).
+    fn ball_size_at(&self, u: NodeId, r: u32) -> u64;
+
+    /// Visit each node within distance `r` of `u` exactly once.
+    fn for_each_in_ball<F: FnMut(NodeId)>(&self, u: NodeId, r: u32, f: F);
+
+    /// Visit each node at distance exactly `d` from `u` exactly once.
+    fn for_each_at_distance<F: FnMut(NodeId)>(&self, u: NodeId, d: u32, f: F);
+
+    /// Visit each lattice neighbour (distance exactly 1) of `u` once.
+    fn for_each_neighbor<F: FnMut(NodeId)>(&self, u: NodeId, f: F) {
+        self.for_each_at_distance(u, 1, f);
+    }
+
+    /// Uniform random node within distance `r` of `u` (including `u`).
+    fn sample_in_ball<R: Rng + ?Sized>(&self, u: NodeId, r: u32, rng: &mut R) -> NodeId;
+}
+
+impl Topology for crate::Torus {
+    #[inline]
+    fn n(&self) -> u32 {
+        self.n()
+    }
+
+    #[inline]
+    fn side(&self) -> u32 {
+        self.side()
+    }
+
+    #[inline]
+    fn dist(&self, a: NodeId, b: NodeId) -> u32 {
+        self.dist(a, b)
+    }
+
+    #[inline]
+    fn diameter(&self) -> u32 {
+        self.diameter()
+    }
+
+    #[inline]
+    fn ball_size_at(&self, _u: NodeId, r: u32) -> u64 {
+        self.ball_size(r) // vertex-transitive: independent of u
+    }
+
+    #[inline]
+    fn for_each_in_ball<F: FnMut(NodeId)>(&self, u: NodeId, r: u32, f: F) {
+        self.for_each_in_ball(u, r, f)
+    }
+
+    #[inline]
+    fn for_each_at_distance<F: FnMut(NodeId)>(&self, u: NodeId, d: u32, f: F) {
+        self.for_each_at_distance(u, d, f)
+    }
+
+    #[inline]
+    fn sample_in_ball<R: Rng + ?Sized>(&self, u: NodeId, r: u32, rng: &mut R) -> NodeId {
+        self.sample_in_ball(u, r, rng)
+    }
+}
+
+impl Topology for crate::Grid {
+    #[inline]
+    fn n(&self) -> u32 {
+        self.n()
+    }
+
+    #[inline]
+    fn side(&self) -> u32 {
+        self.side()
+    }
+
+    #[inline]
+    fn dist(&self, a: NodeId, b: NodeId) -> u32 {
+        self.dist(a, b)
+    }
+
+    #[inline]
+    fn diameter(&self) -> u32 {
+        self.diameter()
+    }
+
+    #[inline]
+    fn ball_size_at(&self, u: NodeId, r: u32) -> u64 {
+        self.ball_size_at(u, r)
+    }
+
+    #[inline]
+    fn for_each_in_ball<F: FnMut(NodeId)>(&self, u: NodeId, r: u32, f: F) {
+        self.for_each_in_ball(u, r, f)
+    }
+
+    #[inline]
+    fn for_each_at_distance<F: FnMut(NodeId)>(&self, u: NodeId, d: u32, f: F) {
+        self.for_each_at_distance(u, d, f)
+    }
+
+    #[inline]
+    fn sample_in_ball<R: Rng + ?Sized>(&self, u: NodeId, r: u32, rng: &mut R) -> NodeId {
+        self.sample_in_ball(u, r, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Grid, Torus};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Generic consistency check usable with any Topology implementation.
+    fn check_consistency<T: Topology>(t: &T) {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for u in [0u32, t.n() / 3, t.n() - 1] {
+            for r in [0u32, 1, 2, t.side(), t.diameter()] {
+                let mut count = 0u64;
+                t.for_each_in_ball(u, r, |v| {
+                    assert!(t.dist(u, v) <= r);
+                    count += 1;
+                });
+                assert_eq!(count, t.ball_size_at(u, r), "ball size mismatch");
+                // ring nodes are exactly at distance d
+                t.for_each_at_distance(u, r, |v| {
+                    assert_eq!(t.dist(u, v), r);
+                });
+                let v = t.sample_in_ball(u, r, &mut rng);
+                assert!(t.dist(u, v) <= r);
+            }
+        }
+    }
+
+    #[test]
+    fn torus_satisfies_trait_contract() {
+        check_consistency(&Torus::new(7));
+        check_consistency(&Torus::new(4));
+    }
+
+    #[test]
+    fn grid_satisfies_trait_contract() {
+        check_consistency(&Grid::new(7));
+        check_consistency(&Grid::new(4));
+    }
+
+    #[test]
+    fn generic_function_compiles_over_both() {
+        fn mean_deg<T: Topology>(t: &T) -> f64 {
+            let mut total = 0u64;
+            for u in 0..t.n() {
+                total += t.ball_size_at(u, 1) - 1;
+            }
+            total as f64 / t.n() as f64
+        }
+        assert_eq!(mean_deg(&Torus::new(5)), 4.0);
+        assert!(mean_deg(&Grid::new(5)) < 4.0); // boundary nodes lose edges
+    }
+}

@@ -1,0 +1,493 @@
+//! The `√n × √n` torus: the paper's network model (§II-B, Remark 1).
+//!
+//! Nodes are lattice points with wrap-around in both axes; the hop metric is
+//! L1 with per-axis wrapping. All neighborhood operations here are *exact*
+//! for every radius, including the self-wrapping regime `2r ≥ side` (needed
+//! because the experiments sweep `r` all the way to "no proximity
+//! constraint", which the paper writes as `r = ∞ ≡ √n`).
+
+use crate::coords::{residues_at, residues_within, wrap_offset, wrapped_delta, Coord};
+use crate::NodeId;
+use rand::Rng;
+
+/// A 2D torus with `side × side` nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Torus {
+    side: u32,
+    n: u32,
+}
+
+impl Torus {
+    /// Largest supported side length (`side² ≤ u32::MAX`).
+    pub const MAX_SIDE: u32 = 46_340;
+
+    /// Create a torus with the given side length.
+    ///
+    /// # Panics
+    /// If `side` is zero or exceeds [`Torus::MAX_SIDE`].
+    pub fn new(side: u32) -> Self {
+        assert!(side >= 1, "torus side must be positive");
+        assert!(
+            side <= Self::MAX_SIDE,
+            "torus side {side} exceeds MAX_SIDE {}",
+            Self::MAX_SIDE
+        );
+        Self {
+            side,
+            n: side * side,
+        }
+    }
+
+    /// Create a torus with `n` nodes; `n` must be a perfect square.
+    ///
+    /// # Panics
+    /// If `n` is not a positive perfect square.
+    pub fn from_nodes(n: u32) -> Self {
+        let side = (n as f64).sqrt().round() as u32;
+        assert!(
+            side >= 1 && side * side == n,
+            "n={n} is not a positive perfect square"
+        );
+        Self::new(side)
+    }
+
+    /// Side length `√n`.
+    #[inline]
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// Number of nodes `n = side²`.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Graph diameter: `2⌊side/2⌋`.
+    #[inline]
+    pub fn diameter(&self) -> u32 {
+        2 * (self.side / 2)
+    }
+
+    /// Coordinate of node `v`.
+    #[inline]
+    pub fn coord(&self, v: NodeId) -> Coord {
+        debug_assert!(v < self.n);
+        Coord::new(v % self.side, v / self.side)
+    }
+
+    /// Node at coordinate `c`.
+    #[inline]
+    pub fn node(&self, c: Coord) -> NodeId {
+        debug_assert!(c.x < self.side && c.y < self.side);
+        c.y * self.side + c.x
+    }
+
+    /// Hop distance: per-axis wrapped L1 metric.
+    #[inline]
+    pub fn dist(&self, a: NodeId, b: NodeId) -> u32 {
+        let (ca, cb) = (self.coord(a), self.coord(b));
+        wrapped_delta(ca.x, cb.x, self.side) + wrapped_delta(ca.y, cb.y, self.side)
+    }
+
+    /// Node reached from `v` by the (possibly negative, possibly large)
+    /// lattice offset `(dx, dy)`, wrapping both axes.
+    #[inline]
+    pub fn offset(&self, v: NodeId, dx: i64, dy: i64) -> NodeId {
+        let c = self.coord(v);
+        let x = wrap_offset(c.x, dx, self.side);
+        let y = wrap_offset(c.y, dy, self.side);
+        self.node(Coord::new(x, y))
+    }
+
+    /// The four lattice neighbours of `v` (with duplicates on degenerate
+    /// tori of side 1 or 2 — the multigraph view).
+    #[inline]
+    pub fn neighbors4(&self, v: NodeId) -> [NodeId; 4] {
+        [
+            self.offset(v, 1, 0),
+            self.offset(v, -1, 0),
+            self.offset(v, 0, 1),
+            self.offset(v, 0, -1),
+        ]
+    }
+
+    /// `|B_r(u)|`: number of nodes within distance `r` of any node
+    /// (vertex-transitive, so it does not depend on `u`).
+    ///
+    /// Equals `2r(r+1) + 1` whenever `2r + 1 ≤ side` (paper's `Θ(r²)`), and
+    /// saturates at `n` once `r ≥ diameter`.
+    pub fn ball_size(&self, r: u32) -> u64 {
+        let half = self.side / 2;
+        let mut total = 0u64;
+        for w in 0..=r.min(half) {
+            let budget = r - w;
+            total += residues_at(w, self.side) as u64
+                * residues_within(budget, self.side) as u64;
+        }
+        total
+    }
+
+    /// Number of nodes at distance exactly `d` from any node.
+    ///
+    /// Equals `4d` for `1 ≤ d` with `2d + 1 ≤ side`; `1` for `d = 0`.
+    pub fn ring_size(&self, d: u32) -> u64 {
+        let half = self.side / 2;
+        let mut total = 0u64;
+        for w in 0..=d.min(half) {
+            let t = d - w;
+            total += residues_at(w, self.side) as u64 * residues_at(t, self.side) as u64;
+        }
+        total
+    }
+
+    /// Visit every node of `B_r(u)` exactly once (including `u` itself).
+    ///
+    /// Allocation-free; correct for all radii (handles axis self-wrap).
+    pub fn for_each_in_ball<F: FnMut(NodeId)>(&self, u: NodeId, r: u32, mut f: F) {
+        let c = self.coord(u);
+        let side = self.side;
+        let half = side / 2;
+        for w in 0..=r.min(half) {
+            let budget = r - w;
+            let xs = self.axis_residues(c.x, w);
+            for x in xs.into_iter().flatten() {
+                self.for_each_y_within(x, c.y, budget, &mut f);
+            }
+        }
+    }
+
+    /// Visit every node at distance exactly `d` from `u` exactly once.
+    pub fn for_each_at_distance<F: FnMut(NodeId)>(&self, u: NodeId, d: u32, mut f: F) {
+        let c = self.coord(u);
+        let half = self.side / 2;
+        for w in 0..=d.min(half) {
+            let t = d - w;
+            if residues_at(t, self.side) == 0 {
+                continue;
+            }
+            let xs = self.axis_residues(c.x, w);
+            for x in xs.into_iter().flatten() {
+                let ys = self.axis_residues(c.y, t);
+                for y in ys.into_iter().flatten() {
+                    f(self.node(Coord::new(x, y)));
+                }
+            }
+        }
+    }
+
+    /// Collect `B_r(u)` into a vector (testing / analysis convenience).
+    pub fn ball_nodes(&self, u: NodeId, r: u32) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.ball_size(r) as usize);
+        self.for_each_in_ball(u, r, |v| out.push(v));
+        out
+    }
+
+    /// Collect the distance-`d` ring around `u` into a vector.
+    pub fn ring_nodes(&self, u: NodeId, d: u32) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.ring_size(d) as usize);
+        self.for_each_at_distance(u, d, |v| out.push(v));
+        out
+    }
+
+    /// Uniform random node of `B_r(u)` (including `u`).
+    ///
+    /// Uses diamond rejection sampling in the non-wrapping regime
+    /// (acceptance ≈ ½) and whole-torus rejection once the ball covers at
+    /// least ~half the torus, so expected work is O(1) for every radius.
+    pub fn sample_in_ball<R: Rng + ?Sized>(&self, u: NodeId, r: u32, rng: &mut R) -> NodeId {
+        if r == 0 || self.n == 1 {
+            return u;
+        }
+        if self.ball_size(r) == self.n as u64 {
+            return rng.gen_range(0..self.n);
+        }
+        let side = self.side as u64;
+        if (2 * r as u64) < side {
+            // Diamond |dx|+|dy| ≤ r is injective: reject from the square.
+            let ri = r as i64;
+            loop {
+                let dx = rng.gen_range(-ri..=ri);
+                let dy = rng.gen_range(-ri..=ri);
+                if dx.abs() + dy.abs() <= ri {
+                    return self.offset(u, dx, dy);
+                }
+            }
+        }
+        // Large ball: reject from the whole torus (acceptance ≥ ~½ here).
+        loop {
+            let v = rng.gen_range(0..self.n);
+            if self.dist(u, v) <= r {
+                return v;
+            }
+        }
+    }
+
+    /// Exact mean hop distance between a uniform ordered pair of nodes.
+    ///
+    /// This is the communication cost of serving every request from a
+    /// uniformly random server — the `Θ(√n)` reference line of Figure 4.
+    pub fn mean_pair_distance(&self) -> f64 {
+        // Independent per axis: E[d] = 2 · E[wrapped_delta].
+        let s = self.side as u64;
+        let mut sum = 0u64;
+        for o in 0..self.side {
+            sum += wrapped_delta(0, o, self.side) as u64;
+        }
+        2.0 * (sum as f64 / s as f64)
+    }
+
+    /// The (one or two) x/y-axis residues at wrapped distance exactly `w`
+    /// from residue `a`. Returned as two options to stay allocation-free.
+    #[inline]
+    fn axis_residues(&self, a: u32, w: u32) -> [Option<u32>; 2] {
+        match residues_at(w, self.side) {
+            0 => [None, None],
+            1 => [Some(wrap_offset(a, w as i64, self.side)), None],
+            _ => [
+                Some(wrap_offset(a, w as i64, self.side)),
+                Some(wrap_offset(a, -(w as i64), self.side)),
+            ],
+        }
+    }
+
+    /// Visit all nodes with x-coordinate `x` whose y-coordinate is within
+    /// wrapped distance `b` of `cy`.
+    #[inline]
+    fn for_each_y_within<F: FnMut(NodeId)>(&self, x: u32, cy: u32, b: u32, f: &mut F) {
+        let side = self.side;
+        if 2 * b as u64 + 1 >= side as u64 {
+            for y in 0..side {
+                f(self.node(Coord::new(x, y)));
+            }
+            return;
+        }
+        let bi = b as i64;
+        for dy in -bi..=bi {
+            let y = wrap_offset(cy, dy, side);
+            f(self.node(Coord::new(x, y)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn brute_ball(t: &Torus, u: NodeId, r: u32) -> Vec<NodeId> {
+        (0..t.n()).filter(|&v| t.dist(u, v) <= r).collect()
+    }
+
+    fn brute_ring(t: &Torus, u: NodeId, d: u32) -> Vec<NodeId> {
+        (0..t.n()).filter(|&v| t.dist(u, v) == d).collect()
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let t = Torus::new(5);
+        assert_eq!(t.n(), 25);
+        assert_eq!(t.side(), 5);
+        for v in 0..t.n() {
+            assert_eq!(t.node(t.coord(v)), v);
+        }
+    }
+
+    #[test]
+    fn from_nodes_accepts_squares() {
+        assert_eq!(Torus::from_nodes(2025).side(), 45);
+        assert_eq!(Torus::from_nodes(1).side(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn from_nodes_rejects_non_squares() {
+        let _ = Torus::from_nodes(2026);
+    }
+
+    #[test]
+    fn metric_axioms_small_tori() {
+        for side in 1..=6u32 {
+            let t = Torus::new(side);
+            for a in 0..t.n() {
+                assert_eq!(t.dist(a, a), 0);
+                for b in 0..t.n() {
+                    assert_eq!(t.dist(a, b), t.dist(b, a));
+                    if a != b {
+                        assert!(t.dist(a, b) > 0);
+                    }
+                    for c in 0..t.n() {
+                        assert!(t.dist(a, c) <= t.dist(a, b) + t.dist(b, c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_bounded_by_diameter() {
+        for side in 1..=8u32 {
+            let t = Torus::new(side);
+            let max = (0..t.n())
+                .flat_map(|a| (0..t.n()).map(move |b| (a, b)))
+                .map(|(a, b)| t.dist(a, b))
+                .max()
+                .unwrap();
+            assert_eq!(max, t.diameter(), "side={side}");
+        }
+    }
+
+    #[test]
+    fn ball_enumeration_matches_bruteforce_all_radii() {
+        for side in 1..=7u32 {
+            let t = Torus::new(side);
+            for u in [0, t.n() / 2, t.n() - 1] {
+                for r in 0..=(2 * side) {
+                    let mut got = t.ball_nodes(u, r);
+                    got.sort_unstable();
+                    let expect = brute_ball(&t, u, r);
+                    assert_eq!(got, expect, "side={side} u={u} r={r}");
+                    assert_eq!(t.ball_size(r), expect.len() as u64, "size side={side} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_enumeration_matches_bruteforce_all_radii() {
+        for side in 1..=7u32 {
+            let t = Torus::new(side);
+            for u in [0, t.n() - 1] {
+                for d in 0..=(2 * side) {
+                    let mut got = t.ring_nodes(u, d);
+                    got.sort_unstable();
+                    let expect = brute_ring(&t, u, d);
+                    assert_eq!(got, expect, "side={side} u={u} d={d}");
+                    assert_eq!(t.ring_size(d), expect.len() as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ball_size_formula_in_nonwrapping_regime() {
+        // |B_r| = 2r(r+1)+1 whenever 2r+1 ≤ side (paper §II / Lemma 3).
+        for side in [9u32, 15, 45] {
+            let t = Torus::new(side);
+            for r in 0..=(side - 1) / 2 {
+                assert_eq!(
+                    t.ball_size(r),
+                    2 * r as u64 * (r as u64 + 1) + 1,
+                    "side={side} r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_size_is_4d_in_nonwrapping_regime() {
+        let t = Torus::new(31);
+        assert_eq!(t.ring_size(0), 1);
+        for d in 1..=15 {
+            assert_eq!(t.ring_size(d), 4 * d as u64);
+        }
+    }
+
+    #[test]
+    fn ball_saturates_at_n() {
+        let t = Torus::new(6);
+        assert_eq!(t.ball_size(t.diameter()), t.n() as u64);
+        assert_eq!(t.ball_size(100), t.n() as u64);
+        let all = t.ball_nodes(3, 100);
+        assert_eq!(all.len(), t.n() as usize);
+    }
+
+    #[test]
+    fn neighbors4_at_distance_one() {
+        let t = Torus::new(5);
+        for v in 0..t.n() {
+            for w in t.neighbors4(v) {
+                assert_eq!(t.dist(v, w), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn offset_wraps_correctly() {
+        let t = Torus::new(4);
+        let v = t.node(Coord::new(0, 0));
+        assert_eq!(t.coord(t.offset(v, -1, -1)), Coord::new(3, 3));
+        assert_eq!(t.coord(t.offset(v, 9, 2)), Coord::new(1, 2));
+    }
+
+    #[test]
+    fn sample_in_ball_stays_in_ball_and_covers_it() {
+        let t = Torus::new(9);
+        let mut rng = SmallRng::seed_from_u64(42);
+        for r in [0u32, 1, 2, 4, 5, 8, 20] {
+            let u = 40;
+            let ball: std::collections::HashSet<NodeId> =
+                t.ball_nodes(u, r).into_iter().collect();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..2000 {
+                let v = t.sample_in_ball(u, r, &mut rng);
+                assert!(ball.contains(&v), "r={r} sampled outside ball");
+                seen.insert(v);
+            }
+            assert_eq!(seen.len(), ball.len(), "r={r}: sampler missed nodes");
+        }
+    }
+
+    #[test]
+    fn sample_in_ball_is_roughly_uniform() {
+        let t = Torus::new(15);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let u = 0;
+        let r = 3;
+        let ball = t.ball_nodes(u, r);
+        let trials = 50_000usize;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..trials {
+            *counts.entry(t.sample_in_ball(u, r, &mut rng)).or_insert(0usize) += 1;
+        }
+        let expect = trials as f64 / ball.len() as f64;
+        for v in ball {
+            let c = counts.get(&v).copied().unwrap_or(0) as f64;
+            assert!(
+                (c - expect).abs() < 5.0 * expect.sqrt() + 1.0,
+                "node {v}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_pair_distance_matches_bruteforce() {
+        for side in [1u32, 2, 3, 4, 5, 8] {
+            let t = Torus::new(side);
+            let mut sum = 0u64;
+            for a in 0..t.n() {
+                for b in 0..t.n() {
+                    sum += t.dist(a, b) as u64;
+                }
+            }
+            let brute = sum as f64 / (t.n() as f64 * t.n() as f64);
+            assert!(
+                (t.mean_pair_distance() - brute).abs() < 1e-12,
+                "side={side}: {} vs {brute}",
+                t.mean_pair_distance()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_single_node_torus() {
+        let t = Torus::new(1);
+        assert_eq!(t.dist(0, 0), 0);
+        assert_eq!(t.ball_size(0), 1);
+        assert_eq!(t.ball_size(5), 1);
+        assert_eq!(t.ball_nodes(0, 3), vec![0]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(t.sample_in_ball(0, 2, &mut rng), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Measurement plumbing shared by every crate in the `paba` workspace.
+//!
+//! This crate is dependency-free (std only) and hosts the small, hot
+//! utilities the simulators and experiment harnesses lean on:
+//!
+//! * [`hash`] — an FxHash-style 64-bit hasher for integer-keyed maps/sets
+//!   (the default SipHash is needlessly slow for `u32`/`u64` node ids).
+//! * [`rng`] — SplitMix64 seed derivation so parallel Monte-Carlo runs are
+//!   deterministic regardless of thread scheduling.
+//! * [`stats`] — Welford online mean/variance and summary types.
+//! * [`histogram`] — fixed-bucket integer histograms that merge cheaply.
+//! * [`linreg`] — least-squares fits (incl. log–log scaling exponents).
+//! * [`table`] — Markdown / CSV table emitters used by the bench harnesses.
+//! * [`envcfg`] — tiny environment-variable configuration for bench targets
+//!   (`PABA_RUNS`, `PABA_SEED`, `PABA_SCALE`, …).
+
+pub mod envcfg;
+pub mod hash;
+pub mod histogram;
+pub mod linreg;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use histogram::Histogram;
+pub use linreg::{fit_line, fit_loglog, LineFit};
+pub use rng::{mix64, mix_seed, split_seed, SplitMix64};
+pub use stats::{OnlineStats, Summary};
+pub use table::{Align, Table};

@@ -1,0 +1,177 @@
+//! Least-squares line fitting, including log–log scaling-exponent fits.
+//!
+//! Several experiments compare a *measured* growth exponent against the
+//! paper's asymptotic claim — e.g. Theorem 3 predicts the communication
+//! cost of the nearest-replica strategy scales as `K^{(1-γ)∨0 + 1/2 - ...}`
+//! depending on the Zipf parameter. [`fit_loglog`] fits `y = a·x^b` by
+//! ordinary least squares on `(ln x, ln y)` and reports the exponent `b`
+//! with its standard error and the fit's R².
+
+/// Result of a least-squares line fit `y = intercept + slope·x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Standard error of the slope estimate.
+    pub slope_std_err: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+/// Ordinary least-squares fit of `y = intercept + slope·x`.
+///
+/// Returns `None` when fewer than two distinct x-values are supplied or any
+/// coordinate is non-finite.
+pub fn fit_line(points: &[(f64, f64)]) -> Option<LineFit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    if points.iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in points {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None; // vertical line: slope undefined
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    // Residual sum of squares and diagnostics.
+    let ss_res: f64 = points
+        .iter()
+        .map(|&(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    let r_squared = if syy == 0.0 {
+        1.0 // all y equal: a horizontal line fits exactly
+    } else {
+        1.0 - ss_res / syy
+    };
+    let slope_std_err = if n > 2 {
+        (ss_res / (nf - 2.0) / sxx).sqrt()
+    } else {
+        0.0
+    };
+    Some(LineFit {
+        slope,
+        intercept,
+        slope_std_err,
+        r_squared,
+        n,
+    })
+}
+
+/// Fit `y = a·x^b` by least squares on `(ln x, ln y)`.
+///
+/// The returned [`LineFit`]'s `slope` is the exponent `b`, and `intercept`
+/// is `ln a`. Points with non-positive coordinates are skipped (they have
+/// no logarithm); `None` if fewer than two usable points remain.
+///
+/// ```
+/// let pts: Vec<(f64, f64)> = (1..=20).map(|i| {
+///     let x = i as f64;
+///     (x, 3.0 * x.powf(0.5))
+/// }).collect();
+/// let fit = paba_util::fit_loglog(&pts).unwrap();
+/// assert!((fit.slope - 0.5).abs() < 1e-9);
+/// ```
+pub fn fit_loglog(points: &[(f64, f64)]) -> Option<LineFit> {
+    let logged: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    fit_line(&logged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.5 * i as f64 - 1.0)).collect();
+        let fit = fit_line(&pts).unwrap();
+        assert!((fit.slope - 2.5).abs() < 1e-12);
+        assert!((fit.intercept + 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.slope_std_err < 1e-9);
+    }
+
+    #[test]
+    fn too_few_points() {
+        assert!(fit_line(&[]).is_none());
+        assert!(fit_line(&[(1.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn vertical_line_rejected() {
+        assert!(fit_line(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(fit_line(&[(1.0, f64::NAN), (2.0, 3.0)]).is_none());
+        assert!(fit_line(&[(f64::INFINITY, 1.0), (2.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn horizontal_line_r2_is_one() {
+        let fit = fit_line(&[(1.0, 4.0), (2.0, 4.0), (3.0, 4.0)]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn noisy_slope_recovered_within_error() {
+        // y = 3x + deterministic "noise" of bounded amplitude.
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                (x, 3.0 * x + ((i * 7919) % 13) as f64 / 13.0 - 0.5)
+            })
+            .collect();
+        let fit = fit_line(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 0.01, "slope {}", fit.slope);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn loglog_power_law() {
+        let pts: Vec<(f64, f64)> = (1..=50)
+            .map(|i| {
+                let x = i as f64 * 10.0;
+                (x, 0.7 * x.powf(1.5))
+            })
+            .collect();
+        let fit = fit_loglog(&pts).unwrap();
+        assert!((fit.slope - 1.5).abs() < 1e-9);
+        assert!((fit.intercept.exp() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_skips_nonpositive_points() {
+        let pts = [(0.0, 1.0), (-1.0, 2.0), (1.0, 0.0), (2.0, 4.0), (4.0, 16.0), (8.0, 64.0)];
+        let fit = fit_loglog(&pts).unwrap();
+        assert_eq!(fit.n, 3);
+        assert!((fit.slope - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,254 @@
+//! Online (single-pass) statistics with numerically stable accumulation.
+//!
+//! The experiment harnesses average a metric over many Monte-Carlo runs and
+//! report mean ± std. [`OnlineStats`] implements Welford's algorithm, which
+//! is stable for long streams, and supports O(1) *merging* of partial
+//! aggregates produced by worker threads (Chan et al.'s parallel variant),
+//! which is what the `paba-mcrunner` executor relies on.
+
+/// Welford online accumulator for mean/variance/min/max.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into `self` (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of the ~95% normal-approximation confidence interval.
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_err()
+    }
+
+    /// Freeze into a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            std_err: self.std_err(),
+            min: if self.count == 0 { f64::NAN } else { self.min },
+            max: if self.count == 0 { f64::NAN } else { self.max },
+        }
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Immutable snapshot of an [`OnlineStats`] accumulator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub std_err: f64,
+    /// Minimum observation (NaN when empty).
+    pub min: f64,
+    /// Maximum observation (NaN when empty).
+    pub max: f64,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} (n={}, min={:.4}, max={:.4})",
+            self.mean,
+            1.96 * self.std_err,
+            self.count,
+            self.min,
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = OnlineStats::new();
+        s.push(5.0);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.5).collect();
+        let s: OnlineStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!(close(s.mean(), mean, 1e-12));
+        assert!(close(s.variance(), var, 1e-12));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 10.0).collect();
+        let ys: Vec<f64> = (0..300).map(|i| (i as f64).cos() * 3.0 + 1.0).collect();
+        let all: OnlineStats = xs.iter().chain(ys.iter()).copied().collect();
+        let mut a: OnlineStats = xs.iter().copied().collect();
+        let b: OnlineStats = ys.iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!(close(a.mean(), all.mean(), 1e-12));
+        assert!(close(a.variance(), all.variance(), 1e-10));
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn summary_display_formats() {
+        let s: OnlineStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let text = s.summary().to_string();
+        assert!(text.contains("2.0000"), "{text}");
+        assert!(text.contains("n=3"), "{text}");
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offset() {
+        // Classic catastrophic-cancellation scenario for naive sum-of-squares.
+        let offset = 1e9;
+        let s: OnlineStats = (0..1000).map(|i| offset + (i % 2) as f64).collect();
+        assert!(close(s.variance(), 0.25025, 1e-3), "var={}", s.variance());
+    }
+}

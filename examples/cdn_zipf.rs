@@ -1,0 +1,76 @@
+//! CDN scenario: Zipf-popular content, the paper's motivating workload.
+//!
+//! Web and video libraries follow Zipf laws (paper §II-B, refs [26, 27]).
+//! This example sweeps the Zipf exponent γ and shows how skew changes the
+//! picture for both strategies: popular files are replicated everywhere,
+//! so the nearest-replica cost collapses (Theorem 3 / equation (1)) while
+//! hot-content load concentration makes balancing *more* valuable.
+//!
+//! ```text
+//! cargo run --release --example cdn_zipf
+//! ```
+
+use paba::prelude::*;
+use paba::theory::{nearest_cost_series, CostRegime};
+use rand::SeedableRng;
+
+fn main() {
+    let gammas = [0.0f64, 0.5, 1.0, 1.5, 2.0, 2.5];
+    let (side, k, m) = (45u32, 1000u32, 5u32);
+    let runs = 20;
+
+    println!("CDN on a {side}x{side} torus, K = {k} files, M = {m} slots, {runs} runs/γ\n");
+    println!(
+        "{:>5} | {:^23} | {:^23} | {:>12} | Thm-3 regime",
+        "γ", "Strategy I (L, C)", "Strategy II r=8 (L, C)", "eq.(14) C"
+    );
+    println!("{}", "-".repeat(95));
+
+    for &gamma in &gammas {
+        let pop = if gamma == 0.0 {
+            Popularity::Uniform
+        } else {
+            Popularity::zipf(gamma)
+        };
+        let mut l1 = 0.0;
+        let mut c1 = 0.0;
+        let mut l2 = 0.0;
+        let mut c2 = 0.0;
+        for run in 0..runs {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(
+                paba::util::mix_seed(777 + run, (gamma * 1000.0) as u64),
+            );
+            let net = CacheNetwork::builder()
+                .torus_side(side)
+                .library(k, pop.clone())
+                .cache_size(m)
+                .build(&mut rng);
+            let mut s1 = NearestReplica::new();
+            let r1 = simulate(&net, &mut s1, net.n() as u64, &mut rng);
+            let mut s2 = ProximityChoice::two_choice(Some(8));
+            let r2 = simulate(&net, &mut s2, net.n() as u64, &mut rng);
+            l1 += r1.max_load() as f64 / runs as f64;
+            c1 += r1.comm_cost() / runs as f64;
+            l2 += r2.max_load() as f64 / runs as f64;
+            c2 += r2.comm_cost() / runs as f64;
+        }
+        // The paper's exact cost series (eq. 14, unit constant).
+        let weights = pop.weights(k as usize);
+        let series = nearest_cost_series(&weights, m);
+        let regime = if gamma == 0.0 {
+            "Uniform".to_string()
+        } else {
+            format!("{:?}", CostRegime::classify(gamma))
+        };
+        println!(
+            "{gamma:>5.1} | L={l1:>5.2}  C={c1:>6.2} hops | L={l2:>5.2}  C={c2:>6.2} hops | {series:>12.2} | {regime}"
+        );
+    }
+
+    println!(
+        "\nReading: as γ grows the nearest-replica cost C collapses toward Θ(1/√M) \
+         (files you want are\neverywhere), and Strategy II keeps its balance \
+         advantage at a few hops of cost — the paper's\npitch for CDN request \
+         routing."
+    );
+}

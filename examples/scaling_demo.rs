@@ -1,0 +1,57 @@
+//! Scaling demo: watch `Θ(log n)` vs `Θ(log log n)` in action.
+//!
+//! Runs both strategies across a ladder of network sizes and prints the
+//! measured maximum loads next to the theory columns — the content of
+//! Theorems 1 and 4 in one table, at laptop scale.
+//!
+//! ```text
+//! cargo run --release --example scaling_demo
+//! ```
+
+use paba::prelude::*;
+use paba::theory::{one_choice_max_load, two_choice_max_load};
+use rand::SeedableRng;
+
+fn main() {
+    let sides = [16u32, 23, 32, 45, 64, 91];
+    let runs = 25u64;
+    println!(
+        "K = n (one file per node on average), M = 8, Uniform popularity, {runs} runs/point\n"
+    );
+    println!(
+        "{:>6} | {:>12} | {:>12} | {:>11} | {:>13}",
+        "n", "Strategy I L", "Strategy II L", "ln n/lnln n", "lnln n/ln 2"
+    );
+    println!("{}", "-".repeat(68));
+
+    for &side in &sides {
+        let n = side * side;
+        let mut l1 = 0.0;
+        let mut l2 = 0.0;
+        for run in 0..runs {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(paba::util::mix_seed(
+                run,
+                side as u64,
+            ));
+            let net = CacheNetwork::builder()
+                .torus_side(side)
+                .library(n, Popularity::Uniform)
+                .cache_size(8)
+                .build(&mut rng);
+            let mut s1 = NearestReplica::new();
+            l1 += simulate(&net, &mut s1, n as u64, &mut rng).max_load() as f64 / runs as f64;
+            let mut s2 = ProximityChoice::two_choice(None);
+            l2 += simulate(&net, &mut s2, n as u64, &mut rng).max_load() as f64 / runs as f64;
+        }
+        println!(
+            "{n:>6} | {l1:>12.2} | {l2:>12.2} | {:>11.2} | {:>13.2}",
+            one_choice_max_load(n as f64),
+            two_choice_max_load(n as f64),
+        );
+    }
+
+    println!(
+        "\nReading: Strategy I's column climbs with the ln n/lnln n column (Theorems 1-2);\n\
+         Strategy II's barely moves, tracking lnln n (Theorem 4's exponential improvement)."
+    );
+}

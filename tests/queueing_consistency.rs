@@ -1,0 +1,108 @@
+//! Static ↔ dynamic consistency for the supermarket extension (§VI):
+//! the queueing model embeds the same dispatch logic, so limiting regimes
+//! must agree with the static model and with classic queueing theory.
+
+use paba::core::{PlacementPolicy, ProximityChoice};
+use paba::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn full_net(side: u32, seed: u64) -> (CacheNetwork<Torus>, SmallRng) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let net = CacheNetwork::builder()
+        .torus_side(side)
+        .library(8, Popularity::Uniform)
+        .cache_size(8)
+        .placement_policy(PlacementPolicy::FullLibrary)
+        .build(&mut rng);
+    (net, rng)
+}
+
+#[test]
+fn low_load_cost_matches_static_cost() {
+    // At λ → 0 queues are empty, so dispatch decisions (and hence hop
+    // costs) are distributed exactly like the static strategy's on an
+    // unloaded network.
+    let (net, mut rng) = full_net(12, 1);
+    let cfg = QueueSimConfig {
+        lambda: 0.05,
+        horizon: 4_000.0,
+        warmup: 200.0,
+        tail_cap: 8,
+    };
+    let mut strat = ProximityChoice::two_choice(Some(3));
+    let queue_rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+
+    let mut static_strat = ProximityChoice::two_choice(Some(3));
+    let static_rep = simulate(&net, &mut static_strat, 20_000, &mut rng);
+    assert!(
+        (queue_rep.comm_cost - static_rep.comm_cost()).abs() < 0.1,
+        "dynamic {} vs static {}",
+        queue_rep.comm_cost,
+        static_rep.comm_cost()
+    );
+}
+
+#[test]
+fn utilization_matches_lambda() {
+    // Time-averaged busy fraction (tail at k=1) must equal λ for any
+    // stable dispatch policy (work conservation).
+    let (net, mut rng) = full_net(10, 2);
+    for lambda in [0.3, 0.6, 0.85] {
+        let cfg = QueueSimConfig {
+            lambda,
+            horizon: 6_000.0,
+            warmup: 1_000.0,
+            tail_cap: 8,
+        };
+        let mut strat = ProximityChoice::two_choice(Some(3));
+        let rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+        assert!(
+            (rep.tail_at(1) - lambda).abs() < 0.04,
+            "λ={lambda}: busy fraction {}",
+            rep.tail_at(1)
+        );
+    }
+}
+
+#[test]
+fn tails_are_monotone_decreasing() {
+    let (net, mut rng) = full_net(10, 3);
+    let cfg = QueueSimConfig {
+        lambda: 0.8,
+        horizon: 2_000.0,
+        warmup: 300.0,
+        tail_cap: 16,
+    };
+    let mut strat = ProximityChoice::two_choice(None);
+    let rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+    // tail(0) integrates to the window length exactly, up to f64 rounding.
+    assert!((rep.tail_at(0) - 1.0).abs() < 1e-9);
+    for k in 0..16 {
+        assert!(
+            rep.tail_at(k) >= rep.tail_at(k + 1) - 1e-12,
+            "tail not monotone at {k}"
+        );
+    }
+}
+
+#[test]
+fn two_choice_response_time_beats_random_at_high_load() {
+    let (net, mut rng) = full_net(14, 4);
+    let cfg = QueueSimConfig {
+        lambda: 0.9,
+        horizon: 2_500.0,
+        warmup: 500.0,
+        tail_cap: 24,
+    };
+    let mut rand_d1 = ProximityChoice::with_choices(None, 1);
+    let rep1 = simulate_queueing(&net, &mut rand_d1, &cfg, &mut rng);
+    let mut two = ProximityChoice::two_choice(None);
+    let rep2 = simulate_queueing(&net, &mut two, &cfg, &mut rng);
+    assert!(
+        rep2.mean_response < rep1.mean_response,
+        "two-choice response {:.2} should beat random {:.2}",
+        rep2.mean_response,
+        rep1.mean_response
+    );
+}

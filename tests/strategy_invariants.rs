@@ -1,0 +1,180 @@
+//! Property-based integration tests: strategy invariants across randomized
+//! networks (proptest-driven, spanning paba-core / topology / popularity).
+
+use paba::prelude::*;
+use paba::core::{PairMode, RadiusFallback, Request, Strategy};
+use paba::core::metrics::FallbackKind;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Strategy-agnostic invariant checks over one simulated delivery phase.
+fn check_invariants<S: Strategy<Torus>>(
+    net: &CacheNetwork<Torus>,
+    strategy: &mut S,
+    radius: Option<u32>,
+    seed: u64,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut loads = vec![0u32; net.n() as usize];
+    for _ in 0..200 {
+        let req = Request::sample(net, UncachedPolicy::ResampleFile, &mut rng);
+        let a = strategy.assign(net, &loads, req, &mut rng);
+        // 1. hops is the true distance.
+        assert_eq!(a.hops, net.topo().dist(req.origin, a.server));
+        // 2. the server caches the file unless this was an uncached event.
+        if a.fallback != Some(FallbackKind::Uncached) {
+            assert!(
+                net.placement().caches(a.server, req.file),
+                "server {} does not cache file {}",
+                a.server,
+                req.file
+            );
+        }
+        // 3. a finite radius is respected except on declared fallbacks.
+        if let Some(r) = radius {
+            if a.fallback.is_none() || a.fallback == Some(FallbackKind::SingleCandidate) {
+                assert!(a.hops <= r, "in-ball assignment at {} hops > r={r}", a.hops);
+            }
+        }
+        loads[a.server as usize] += 1;
+    }
+    assert_eq!(loads.iter().map(|&l| l as u64).sum::<u64>(), 200);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn nearest_replica_invariants(
+        side in 4u32..12,
+        k in 1u32..60,
+        m in 1u32..8,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let net = CacheNetwork::builder()
+            .torus_side(side)
+            .library(k, Popularity::Uniform)
+            .cache_size(m)
+            .build(&mut rng);
+        let mut s = NearestReplica::new();
+        check_invariants(&net, &mut s, None, seed ^ 0xdead);
+    }
+
+    #[test]
+    fn proximity_choice_invariants(
+        side in 4u32..12,
+        k in 1u32..60,
+        m in 1u32..8,
+        radius in 0u32..10,
+        d in 1u32..5,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let net = CacheNetwork::builder()
+            .torus_side(side)
+            .library(k, Popularity::Uniform)
+            .cache_size(m)
+            .build(&mut rng);
+        let mut s = ProximityChoice::with_choices(Some(radius), d);
+        check_invariants(&net, &mut s, Some(radius), seed ^ 0xbeef);
+    }
+
+    #[test]
+    fn proximity_unbounded_invariants(
+        side in 4u32..12,
+        k in 1u32..60,
+        m in 1u32..8,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let net = CacheNetwork::builder()
+            .torus_side(side)
+            .library(k, Popularity::zipf(0.8))
+            .cache_size(m)
+            .build(&mut rng);
+        let mut s = ProximityChoice::two_choice(None)
+            .pair_mode(PairMode::WithReplacement);
+        check_invariants(&net, &mut s, None, seed ^ 0xf00d);
+    }
+
+    #[test]
+    fn nearest_is_actually_nearest(
+        side in 4u32..10,
+        k in 1u32..40,
+        m in 1u32..6,
+        seed in 0u64..500,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let net = CacheNetwork::builder()
+            .torus_side(side)
+            .library(k, Popularity::Uniform)
+            .cache_size(m)
+            .build(&mut rng);
+        let mut s = NearestReplica::new();
+        let loads = vec![0u32; net.n() as usize];
+        for _ in 0..50 {
+            let req = Request::sample(&net, UncachedPolicy::ResampleFile, &mut rng);
+            let a = s.assign(&net, &loads, req, &mut rng);
+            for v in 0..net.n() {
+                if net.placement().caches(v, req.file) {
+                    prop_assert!(
+                        net.topo().dist(req.origin, v) >= a.hops,
+                        "found closer replica {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serve_at_origin_fallback_never_travels(
+        side in 4u32..9,
+        seed in 0u64..500,
+    ) {
+        // Sparse placement + tiny radius + ServeAtOrigin: every declared
+        // empty-ball fallback must stay at the origin with 0 hops.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let net = CacheNetwork::builder()
+            .torus_side(side)
+            .library(200, Popularity::Uniform)
+            .cache_size(1)
+            .build(&mut rng);
+        let mut s = ProximityChoice::two_choice(Some(1))
+            .radius_fallback(RadiusFallback::ServeAtOrigin);
+        let loads = vec![0u32; net.n() as usize];
+        for _ in 0..100 {
+            let req = Request::sample(&net, UncachedPolicy::ResampleFile, &mut rng);
+            let a = s.assign(&net, &loads, req, &mut rng);
+            if a.fallback == Some(FallbackKind::NoCandidateInBall) {
+                prop_assert_eq!(a.server, req.origin);
+                prop_assert_eq!(a.hops, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_conserves_and_bounds(
+        side in 4u32..12,
+        k in 1u32..60,
+        m in 1u32..8,
+        requests in 0u64..800,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let net = CacheNetwork::builder()
+            .torus_side(side)
+            .library(k, Popularity::Uniform)
+            .cache_size(m)
+            .build(&mut rng);
+        let mut s = ProximityChoice::two_choice(Some(3));
+        let rep = simulate(&net, &mut s, requests, &mut rng);
+        prop_assert!(rep.check_conservation());
+        prop_assert_eq!(rep.total_requests, requests);
+        prop_assert!(rep.max_load() as u64 <= requests);
+        prop_assert!(rep.comm_cost() <= net.topo().diameter() as f64);
+        // The load histogram must count every server.
+        prop_assert_eq!(rep.load_histogram().total(), net.n() as u64);
+    }
+}
