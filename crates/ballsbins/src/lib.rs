@@ -30,6 +30,5 @@ pub mod process;
 pub use batched::batched_d_choice;
 pub use metrics::AllocationResult;
 pub use process::{
-    d_choice, graph_two_choice, neighbor_two_choice, one_choice, one_plus_beta,
-    two_choice,
+    d_choice, graph_two_choice, neighbor_two_choice, one_choice, one_plus_beta, two_choice,
 };

@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn empty_allocation() {
-        let r = AllocationResult { loads: vec![], m: 0 };
+        let r = AllocationResult {
+            loads: vec![],
+            m: 0,
+        };
         assert_eq!(r.max_load(), 0);
         assert_eq!(r.mean_load(), 0.0);
         assert!(r.check_conservation());

@@ -72,12 +72,7 @@ pub fn d_choice<R: Rng + ?Sized>(n: u32, m: u64, d: u32, rng: &mut R) -> Allocat
 ///
 /// # Panics
 /// If `beta ∉ [0, 1]` or `n == 0`.
-pub fn one_plus_beta<R: Rng + ?Sized>(
-    n: u32,
-    m: u64,
-    beta: f64,
-    rng: &mut R,
-) -> AllocationResult {
+pub fn one_plus_beta<R: Rng + ?Sized>(n: u32, m: u64, beta: f64, rng: &mut R) -> AllocationResult {
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
     assert!(n > 0, "need at least one bin");
     let mut loads = vec![0u32; n as usize];
@@ -104,11 +99,7 @@ pub fn one_plus_beta<R: Rng + ?Sized>(
 ///
 /// # Panics
 /// If `g` has no edges.
-pub fn graph_two_choice<R: Rng + ?Sized>(
-    g: &CsrGraph,
-    m: u64,
-    rng: &mut R,
-) -> AllocationResult {
+pub fn graph_two_choice<R: Rng + ?Sized>(g: &CsrGraph, m: u64, rng: &mut R) -> AllocationResult {
     let mut loads = vec![0u32; g.n() as usize];
     for _ in 0..m {
         let (a, b) = g.sample_edge(rng);
@@ -127,11 +118,7 @@ pub fn graph_two_choice<R: Rng + ?Sized>(
 ///
 /// # Panics
 /// If any node of `g` is isolated.
-pub fn neighbor_two_choice<R: Rng + ?Sized>(
-    g: &CsrGraph,
-    m: u64,
-    rng: &mut R,
-) -> AllocationResult {
+pub fn neighbor_two_choice<R: Rng + ?Sized>(g: &CsrGraph, m: u64, rng: &mut R) -> AllocationResult {
     let mut loads = vec![0u32; g.n() as usize];
     for _ in 0..m {
         let a = rng.gen_range(0..g.n());
@@ -216,7 +203,10 @@ mod tests {
             d2 += d_choice(n, n as u64, 2, &mut rng(seed)).max_load() as f64;
             d4 += d_choice(n, n as u64, 4, &mut rng(500 + seed)).max_load() as f64;
         }
-        assert!(d4 <= d2 + 0.2, "Greedy[4] ({d4}) worse than Greedy[2] ({d2})");
+        assert!(
+            d4 <= d2 + 0.2,
+            "Greedy[4] ({d4}) worse than Greedy[2] ({d2})"
+        );
     }
 
     #[test]
@@ -224,9 +214,7 @@ mod tests {
         let n = 2048u32;
         let avg = |beta: f64, base: u64| -> f64 {
             (0..8)
-                .map(|s| {
-                    one_plus_beta(n, n as u64, beta, &mut rng(base + s)).max_load() as f64
-                })
+                .map(|s| one_plus_beta(n, n as u64, beta, &mut rng(base + s)).max_load() as f64)
                 .sum::<f64>()
                 / 8.0
         };
@@ -234,7 +222,10 @@ mod tests {
         let b1 = avg(1.0, 100);
         let bh = avg(0.5, 200);
         assert!(b1 < b0, "β=1 ({b1}) must beat β=0 ({b0})");
-        assert!(bh <= b0 && bh >= b1 - 0.5, "β=0.5 ({bh}) should interpolate");
+        assert!(
+            bh <= b0 && bh >= b1 - 0.5,
+            "β=0.5 ({bh}) should interpolate"
+        );
     }
 
     #[test]
@@ -263,8 +254,7 @@ mod tests {
         let mut sparse_load = 0.0;
         let mut dense_load = 0.0;
         for seed in 0..8 {
-            sparse_load +=
-                graph_two_choice(&ring, n as u64, &mut rng(seed)).max_load() as f64;
+            sparse_load += graph_two_choice(&ring, n as u64, &mut rng(seed)).max_load() as f64;
             dense_load +=
                 graph_two_choice(&dense, n as u64, &mut rng(900 + seed)).max_load() as f64;
         }

@@ -21,8 +21,8 @@
 
 use paba_bench::{emit, header, NetPoint};
 use paba_core::{
-    simulate, simulate_with_policy, LeastLoadedInBall, NearestReplica, PairMode,
-    PlacementPolicy, ProximityChoice, UncachedPolicy,
+    simulate, simulate_with_policy, LeastLoadedInBall, NearestReplica, PairMode, PlacementPolicy,
+    ProximityChoice, UncachedPolicy,
 };
 use paba_util::envcfg::EnvCfg;
 use paba_util::Table;
@@ -80,15 +80,25 @@ fn main() {
     // ---- 2. pair mode ----
     let modes = [PairMode::Distinct, PairMode::WithReplacement];
     let grid: Vec<(usize, ())> = (0..modes.len()).map(|i| (i, ())).collect();
-    let m_res = paba_mcrunner::sweep(&grid, runs, cfg.seed ^ 0x11, None, true, |(i, ()), _r, rng| {
-        let net = point.build(rng);
-        let mut s = ProximityChoice::two_choice(radius).pair_mode(modes[*i]);
-        let rep = simulate(&net, &mut s, net.n() as u64, rng);
-        rep.max_load() as f64
-    });
+    let m_res = paba_mcrunner::sweep(
+        &grid,
+        runs,
+        cfg.seed ^ 0x11,
+        None,
+        true,
+        |(i, ()), _r, rng| {
+            let net = point.build(rng);
+            let mut s = ProximityChoice::two_choice(radius).pair_mode(modes[*i]);
+            let rep = simulate(&net, &mut s, net.n() as u64, rng);
+            rep.max_load() as f64
+        },
+    );
     let mut t2 = Table::new(["pair mode", "max load L"]);
     for (i, m) in modes.iter().enumerate() {
-        t2.push_row([format!("{m:?}"), format!("{:.3}", m_res[i].summarize(|&o| o).mean)]);
+        t2.push_row([
+            format!("{m:?}"),
+            format!("{:.3}", m_res[i].summarize(|&o| o).mean),
+        ]);
     }
     emit("ablation_pair_mode", &t2);
     println!("Check: statistically close once balls hold >= ~10 candidates (with-replacement\nwastes the occasional duplicate probe, costing a fraction of a load unit).\n");
@@ -99,20 +109,27 @@ fn main() {
         PlacementPolicy::ProportionalDistinct,
     ];
     let grid: Vec<(usize, ())> = (0..policies.len()).map(|i| (i, ())).collect();
-    let p_res = paba_mcrunner::sweep(&grid, runs, cfg.seed ^ 0x22, None, true, |(i, ()), _r, rng| {
-        let mut p = point.clone();
-        p.policy = policies[*i];
-        let net = p.build(rng);
-        let mut near = NearestReplica::new();
-        let near_rep = simulate(&net, &mut near, net.n() as u64, rng);
-        let mut two = ProximityChoice::two_choice(radius);
-        let two_rep = simulate(&net, &mut two, net.n() as u64, rng);
-        (
-            near_rep.max_load() as f64,
-            near_rep.comm_cost(),
-            two_rep.max_load() as f64,
-        )
-    });
+    let p_res = paba_mcrunner::sweep(
+        &grid,
+        runs,
+        cfg.seed ^ 0x22,
+        None,
+        true,
+        |(i, ()), _r, rng| {
+            let mut p = point.clone();
+            p.policy = policies[*i];
+            let net = p.build(rng);
+            let mut near = NearestReplica::new();
+            let near_rep = simulate(&net, &mut near, net.n() as u64, rng);
+            let mut two = ProximityChoice::two_choice(radius);
+            let two_rep = simulate(&net, &mut two, net.n() as u64, rng);
+            (
+                near_rep.max_load() as f64,
+                near_rep.comm_cost(),
+                two_rep.max_load() as f64,
+            )
+        },
+    );
     let mut t3 = Table::new(["placement", "nearest L", "nearest C", "two-choice L"]);
     for (i, p) in policies.iter().enumerate() {
         t3.push_row([
@@ -133,16 +150,23 @@ fn main() {
     let sparse = NetPoint::uniform(20, 2_000, 1); // n=400 slots for K=2000 files
     let policies = [UncachedPolicy::ResampleFile, UncachedPolicy::ServeAtOrigin];
     let grid: Vec<(usize, ())> = (0..policies.len()).map(|i| (i, ())).collect();
-    let u_res = paba_mcrunner::sweep(&grid, runs, cfg.seed ^ 0x33, None, true, |(i, ()), _r, rng| {
-        let net = sparse.build(rng);
-        let mut s = NearestReplica::new();
-        let rep = simulate_with_policy(&net, &mut s, net.n() as u64, policies[*i], rng);
-        (
-            rep.max_load() as f64,
-            rep.comm_cost(),
-            rep.uncached as f64 / rep.total_requests as f64,
-        )
-    });
+    let u_res = paba_mcrunner::sweep(
+        &grid,
+        runs,
+        cfg.seed ^ 0x33,
+        None,
+        true,
+        |(i, ()), _r, rng| {
+            let net = sparse.build(rng);
+            let mut s = NearestReplica::new();
+            let rep = simulate_with_policy(&net, &mut s, net.n() as u64, policies[*i], rng);
+            (
+                rep.max_load() as f64,
+                rep.comm_cost(),
+                rep.uncached as f64 / rep.total_requests as f64,
+            )
+        },
+    );
     let mut t4 = Table::new(["uncached policy", "max load L", "cost C", "uncached frac"]);
     for (i, p) in policies.iter().enumerate() {
         t4.push_row([
@@ -164,12 +188,19 @@ fn main() {
     // ---- 5. load-information staleness ----
     let periods = [1u64, 8, 64, 512, u64::MAX];
     let grid: Vec<(u64, ())> = periods.iter().map(|&p| (p, ())).collect();
-    let s_res = paba_mcrunner::sweep(&grid, runs, cfg.seed ^ 0x44, None, true, |(p, ()), _r, rng| {
-        let net = point.build(rng);
-        let mut s = paba_core::StaleLoad::new(ProximityChoice::two_choice(radius), *p);
-        let rep = simulate(&net, &mut s, net.n() as u64, rng);
-        rep.max_load() as f64
-    });
+    let s_res = paba_mcrunner::sweep(
+        &grid,
+        runs,
+        cfg.seed ^ 0x44,
+        None,
+        true,
+        |(p, ()), _r, rng| {
+            let net = point.build(rng);
+            let mut s = paba_core::StaleLoad::new(ProximityChoice::two_choice(radius), *p);
+            let rep = simulate(&net, &mut s, net.n() as u64, rng);
+            rep.max_load() as f64
+        },
+    );
     let mut t5 = Table::new(["refresh period", "max load L"]);
     for (i, &p) in periods.iter().enumerate() {
         t5.push_row([
@@ -191,46 +222,57 @@ fn main() {
     // ---- 6. DHT vs proportional placement ----
     // Equal-budget fixed replication: R = n*M/K copies per file.
     let fixed_r = point.n() * point.m / point.k;
-    let kinds = ["proportional (paper)", "dht proportional", "dht fixed (equal budget)"];
+    let kinds = [
+        "proportional (paper)",
+        "dht proportional",
+        "dht fixed (equal budget)",
+    ];
     let grid: Vec<(usize, ())> = (0..kinds.len()).map(|i| (i, ())).collect();
-    let dht_res = paba_mcrunner::sweep(&grid, runs, cfg.seed ^ 0x55, None, true, |(i, ()), run, rng| {
-        let n = point.n();
-        let library = paba_core::Library::new(point.k, point.popularity.clone());
-        let net = match *i {
-            0 => point.build(rng),
-            _ => {
-                let rule = if *i == 1 {
-                    paba_dht::ReplicationRule::Proportional { m: point.m }
-                } else {
-                    paba_dht::ReplicationRule::Fixed(fixed_r)
-                };
-                let placement = paba_dht::dht_placement(
-                    n,
-                    &library,
-                    &paba_dht::DhtPlacementConfig {
-                        vnodes: 128,
-                        salt: paba_util::mix_seed(cfg.seed ^ 0x56, run as u64),
-                        rule,
-                    },
-                );
-                paba_core::CacheNetwork::from_parts(
-                    paba_topology::Torus::new(point.side),
-                    library,
-                    placement,
-                )
-            }
-        };
-        let mut near = NearestReplica::new();
-        let near_rep = simulate(&net, &mut near, net.n() as u64, rng);
-        let mut two = ProximityChoice::two_choice(radius);
-        let two_rep = simulate(&net, &mut two, net.n() as u64, rng);
-        (
-            near_rep.max_load() as f64,
-            near_rep.comm_cost(),
-            two_rep.max_load() as f64,
-            two_rep.comm_cost(),
-        )
-    });
+    let dht_res = paba_mcrunner::sweep(
+        &grid,
+        runs,
+        cfg.seed ^ 0x55,
+        None,
+        true,
+        |(i, ()), run, rng| {
+            let n = point.n();
+            let library = paba_core::Library::new(point.k, point.popularity.clone());
+            let net = match *i {
+                0 => point.build(rng),
+                _ => {
+                    let rule = if *i == 1 {
+                        paba_dht::ReplicationRule::Proportional { m: point.m }
+                    } else {
+                        paba_dht::ReplicationRule::Fixed(fixed_r)
+                    };
+                    let placement = paba_dht::dht_placement(
+                        n,
+                        &library,
+                        &paba_dht::DhtPlacementConfig {
+                            vnodes: 128,
+                            salt: paba_util::mix_seed(cfg.seed ^ 0x56, run as u64),
+                            rule,
+                        },
+                    );
+                    paba_core::CacheNetwork::from_parts(
+                        paba_topology::Torus::new(point.side),
+                        library,
+                        placement,
+                    )
+                }
+            };
+            let mut near = NearestReplica::new();
+            let near_rep = simulate(&net, &mut near, net.n() as u64, rng);
+            let mut two = ProximityChoice::two_choice(radius);
+            let two_rep = simulate(&net, &mut two, net.n() as u64, rng);
+            (
+                near_rep.max_load() as f64,
+                near_rep.comm_cost(),
+                two_rep.max_load() as f64,
+                two_rep.comm_cost(),
+            )
+        },
+    );
     let mut t6 = Table::new([
         "placement",
         "nearest L",

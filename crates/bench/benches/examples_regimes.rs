@@ -29,7 +29,11 @@ fn main() {
         runs,
     );
 
-    let sides: Vec<u32> = cfg.pick(vec![32, 91], vec![32, 45, 64, 91, 128], vec![32, 64, 91, 128, 181, 256]);
+    let sides: Vec<u32> = cfg.pick(
+        vec![32, 91],
+        vec![32, 45, 64, 91, 128],
+        vec![32, 64, 91, 128, 181, 256],
+    );
 
     // ------------------------------------------------------------------
     // Examples 1, 2, 3, 4 as Strategy II configurations.
@@ -84,13 +88,20 @@ fn main() {
     // Classic balls-into-bins baselines at m = n.
     // ------------------------------------------------------------------
     let bb_points: Vec<(u32, ())> = sides.iter().map(|&s| (s * s, ())).collect();
-    let bb = paba_mcrunner::sweep(&bb_points, runs, cfg.seed ^ 0x1111, None, true, |(n, ()), _r, rng| {
-        let one = paba_ballsbins::one_choice(*n, *n as u64, rng).max_load() as f64;
-        let two = paba_ballsbins::two_choice(*n, *n as u64, rng).max_load() as f64;
-        let three = paba_ballsbins::d_choice(*n, *n as u64, 3, rng).max_load() as f64;
-        let beta = paba_ballsbins::one_plus_beta(*n, *n as u64, 0.5, rng).max_load() as f64;
-        (one, two, three, beta)
-    });
+    let bb = paba_mcrunner::sweep(
+        &bb_points,
+        runs,
+        cfg.seed ^ 0x1111,
+        None,
+        true,
+        |(n, ()), _r, rng| {
+            let one = paba_ballsbins::one_choice(*n, *n as u64, rng).max_load() as f64;
+            let two = paba_ballsbins::two_choice(*n, *n as u64, rng).max_load() as f64;
+            let three = paba_ballsbins::d_choice(*n, *n as u64, 3, rng).max_load() as f64;
+            let beta = paba_ballsbins::one_plus_beta(*n, *n as u64, 0.5, rng).max_load() as f64;
+            (one, two, three, beta)
+        },
+    );
     let mut t2 = Table::new([
         "n",
         "one-choice",
@@ -125,9 +136,16 @@ fn main() {
         .map(|&d| (d, paba_topology::circulant_graph(n_kp, d / 2)))
         .collect();
     let kp_points: Vec<(usize, ())> = (0..degrees.len()).map(|i| (i, ())).collect();
-    let kp = paba_mcrunner::sweep(&kp_points, runs, cfg.seed ^ 0x2222, None, true, |(i, ()), _r, rng| {
-        paba_ballsbins::graph_two_choice(&graphs[*i].1, n_kp as u64, rng).max_load() as f64
-    });
+    let kp = paba_mcrunner::sweep(
+        &kp_points,
+        runs,
+        cfg.seed ^ 0x2222,
+        None,
+        true,
+        |(i, ()), _r, rng| {
+            paba_ballsbins::graph_two_choice(&graphs[*i].1, n_kp as u64, rng).max_load() as f64
+        },
+    );
     let mut t3 = Table::new(["degree", "max load", "KP bound (Thm 5)"]);
     for (i, &d) in degrees.iter().enumerate() {
         let bound = kp_max_load_bound(n_kp as f64, d as f64);
@@ -167,9 +185,10 @@ fn main() {
                 .build(rng);
             let mut strat = ProximityChoice::two_choice(Some(5));
             let tr = simulate(&torus_net, &mut strat, torus_net.n() as u64, rng);
-            let mut g_rng = rand::rngs::SmallRng::seed_from_u64(
-                paba_util::mix_seed(cfg.seed ^ 0x3334, *s as u64),
-            );
+            let mut g_rng = rand::rngs::SmallRng::seed_from_u64(paba_util::mix_seed(
+                cfg.seed ^ 0x3334,
+                *s as u64,
+            ));
             let grid_net = CacheNetwork::builder()
                 .torus_side(*s)
                 .library(k, paba_popularity::Popularity::Uniform)
@@ -177,7 +196,12 @@ fn main() {
                 .build_grid(&mut g_rng);
             let mut strat = ProximityChoice::two_choice(Some(5));
             let gr = simulate(&grid_net, &mut strat, grid_net.n() as u64, &mut g_rng);
-            (tr.max_load() as f64, tr.comm_cost(), gr.max_load() as f64, gr.comm_cost())
+            (
+                tr.max_load() as f64,
+                tr.comm_cost(),
+                gr.max_load() as f64,
+                gr.comm_cost(),
+            )
         },
     );
     let mut t4 = Table::new(["n", "torus L", "grid L", "torus C", "grid C"]);

@@ -46,7 +46,10 @@ fn main() {
                 let idx = mi * sides.len() + si;
                 pm(&results[idx].cost)
             }))
-            .chain(std::iter::once(format!("{:.2}", torus.mean_pair_distance())))
+            .chain(std::iter::once(format!(
+                "{:.2}",
+                torus.mean_pair_distance()
+            )))
             .collect();
         table.push_row(row);
     }

@@ -7,8 +7,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use paba_core::{
-    build_config_graph, simulate, CacheNetwork, ConfigGraphMethod, NearestReplica,
-    ProximityChoice,
+    build_config_graph, simulate, CacheNetwork, ConfigGraphMethod, NearestReplica, ProximityChoice,
 };
 use paba_popularity::{AliasTable, Popularity};
 use paba_topology::Torus;

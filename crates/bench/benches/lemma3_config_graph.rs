@@ -68,16 +68,14 @@ fn main() {
         let e_h = h.m().max(1);
         // Part (b): sample Strategy II pairs and histogram the edges.
         let mut strat = ProximityChoice::two_choice(Some(*r));
-        let mut pair_rng = rand::rngs::SmallRng::seed_from_u64(
-            paba_util::mix_seed(cfg.seed, net.n() as u64),
-        );
+        let mut pair_rng =
+            rand::rngs::SmallRng::seed_from_u64(paba_util::mix_seed(cfg.seed, net.n() as u64));
         let samples = 20_000usize;
         let mut freq: FxHashMap<(u32, u32), u32> = FxHashMap::default();
         let mut got = 0u64;
         for _ in 0..samples {
             let req = Request::sample(&net, UncachedPolicy::ResampleFile, &mut pair_rng);
-            if let Some((a, b)) = strat.sample_pair(&net, req.origin, req.file, &mut pair_rng)
-            {
+            if let Some((a, b)) = strat.sample_pair(&net, req.origin, req.file, &mut pair_rng) {
                 let key = if a < b { (a, b) } else { (b, a) };
                 *freq.entry(key).or_insert(0) += 1;
                 got += 1;

@@ -87,9 +87,7 @@ fn main() {
     });
 
     // Raw measured costs + coverage.
-    let mut raw = Table::new([
-        "gamma", "n", "K", "cost C", "coverage",
-    ]);
+    let mut raw = Table::new(["gamma", "n", "K", "cost C", "coverage"]);
     for (gi, &(g, side)) in gammas.iter().enumerate() {
         for (ki, &k) in ks.iter().enumerate() {
             let idx = gi * ks.len() + ki;
@@ -119,7 +117,12 @@ fn main() {
         let pts: Vec<(f64, f64)> = ks
             .iter()
             .enumerate()
-            .map(|(ki, &k)| (k as f64, outcomes[gi * ks.len() + ki].summarize(|o| o.0).mean))
+            .map(|(ki, &k)| {
+                (
+                    k as f64,
+                    outcomes[gi * ks.len() + ki].summarize(|o| o.0).mean,
+                )
+            })
             .collect();
         let fit = paba_util::fit_loglog(&pts).expect("fit");
         let predict = zipf_cost_exponent_in_k(g);

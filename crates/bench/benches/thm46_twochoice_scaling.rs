@@ -113,7 +113,10 @@ fn main() {
     let mut t6 = Table::new(["n", "r", "L (mean)", "L/lnln n", "C (hops)"]);
     for (i, &s) in sides.iter().enumerate() {
         let n = (s * s) as f64;
-        let StrategyKind::Proximity { radius: Some(r), .. } = points_t6[i].1 else {
+        let StrategyKind::Proximity {
+            radius: Some(r), ..
+        } = points_t6[i].1
+        else {
             unreachable!()
         };
         t6.push_row([

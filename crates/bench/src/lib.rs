@@ -12,11 +12,12 @@
 //! `PABA_SEED`, `PABA_SCALE=quick|default|full`.
 
 use paba_core::{
-    simulate, CacheNetwork, NearestReplica, PlacementPolicy, ProximityChoice,
+    simulate_source, CacheNetwork, NearestReplica, PlacementPolicy, ProximityChoice, UncachedPolicy,
 };
 use paba_popularity::Popularity;
 use paba_util::envcfg::EnvCfg;
 use paba_util::{Summary, Table};
+use paba_workload::WorkloadSpec;
 use rand::rngs::SmallRng;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -110,18 +111,32 @@ pub struct RunOut {
 }
 
 /// One full simulation run: fresh placement, `n` requests (the paper's
-/// default request count), selected strategy.
+/// default request count), selected strategy, the paper's IID workload.
 pub fn run_once(point: &NetPoint, kind: StrategyKind, rng: &mut SmallRng) -> RunOut {
+    run_once_workload(point, kind, &WorkloadSpec::Iid, rng)
+}
+
+/// [`run_once`] with an explicit workload: the `n` requests are drawn
+/// from a fresh instantiation of `spec` instead of the IID baseline.
+pub fn run_once_workload(
+    point: &NetPoint,
+    kind: StrategyKind,
+    spec: &WorkloadSpec,
+    rng: &mut SmallRng,
+) -> RunOut {
     let net = point.build(rng);
     let requests = net.n() as u64;
+    let mut source = spec
+        .build(&net, UncachedPolicy::ResampleFile)
+        .expect("workload spec must fit the bench network");
     let report = match kind {
         StrategyKind::Nearest => {
             let mut s = NearestReplica::new();
-            simulate(&net, &mut s, requests, rng)
+            simulate_source(&net, &mut s, &mut source, requests, rng)
         }
         StrategyKind::Proximity { radius, d } => {
             let mut s = ProximityChoice::with_choices(radius, d);
-            simulate(&net, &mut s, requests, rng)
+            simulate_source(&net, &mut s, &mut source, requests, rng)
         }
     };
     RunOut {
@@ -140,6 +155,27 @@ pub struct PointSummary {
     pub cost: Summary,
     /// Fallback-fraction statistics across runs.
     pub fallback: Summary,
+}
+
+/// Sweep `(NetPoint, StrategyKind, WorkloadSpec)` triples in parallel —
+/// the workload-aware twin of [`sweep_points`], sharing the same
+/// deterministic `(seed, point, run)` derivation.
+pub fn sweep_workload_points(
+    points: &[(NetPoint, StrategyKind, WorkloadSpec)],
+    runs: usize,
+    seed: u64,
+) -> Vec<PointSummary> {
+    let outcomes = paba_mcrunner::sweep(points, runs, seed, None, true, |p, _run, rng| {
+        run_once_workload(&p.0, p.1, &p.2, rng)
+    });
+    outcomes
+        .iter()
+        .map(|o| PointSummary {
+            max_load: o.summarize(|r| r.max_load),
+            cost: o.summarize(|r| r.cost),
+            fallback: o.summarize(|r| r.fallback),
+        })
+        .collect()
 }
 
 /// Sweep a set of `(NetPoint, StrategyKind)` configurations in parallel.

@@ -1,25 +1,31 @@
 //! Minimal dependency-free argument parsing.
 //!
 //! Supports `--key value`, `--key=value`, and bare `--flag` arguments
-//! after a single positional subcommand. Typed accessors return
-//! descriptive errors naming the offending flag.
+//! after a positional subcommand and an optional positional action
+//! (`paba workload generate …`). Typed accessors return descriptive
+//! errors naming the offending flag.
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: one subcommand plus `--key value` options.
+/// Parsed command line: a subcommand, an optional action, plus
+/// `--key value` options.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Args {
     /// The subcommand (first positional argument), if any.
     pub command: Option<String>,
+    /// The action (second positional argument, e.g. `workload generate`),
+    /// if any.
+    pub action: Option<String>,
     options: BTreeMap<String, String>,
 }
 
 impl Args {
     /// Parse an iterator of argument strings (excluding `argv[0]`).
     ///
-    /// Unrecognized positionals after the subcommand are an error, as are
-    /// dangling `--key`s with no value (unless the next token is another
-    /// flag, in which case the key is treated as a boolean `true`).
+    /// Unrecognized positionals after the subcommand and action are an
+    /// error, as are dangling `--key`s with no value (unless the next
+    /// token is another flag, in which case the key is treated as a
+    /// boolean `true`).
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, String> {
         let mut out = Args::default();
         let mut iter = argv.into_iter().peekable();
@@ -44,6 +50,8 @@ impl Args {
                 }
             } else if out.command.is_none() {
                 out.command = Some(tok);
+            } else if out.action.is_none() {
+                out.action = Some(tok);
             } else {
                 return Err(format!("unexpected positional argument '{tok}'"));
             }
@@ -152,8 +160,16 @@ mod tests {
     }
 
     #[test]
+    fn second_positional_is_the_action() {
+        let a = parse("workload generate --out t.trace");
+        assert_eq!(a.command.as_deref(), Some("workload"));
+        assert_eq!(a.action.as_deref(), Some("generate"));
+        assert_eq!(a.get("out"), Some("t.trace"));
+    }
+
+    #[test]
     fn rejects_extra_positionals() {
-        assert!(Args::parse(["a".into(), "b".into()]).is_err());
+        assert!(Args::parse(["a".into(), "b".into(), "c".into()]).is_err());
     }
 
     #[test]

@@ -2,12 +2,13 @@
 
 use crate::args::Args;
 use paba_core::{
-    simulate as run_simulation, CacheNetwork, LeastLoadedInBall, NearestReplica,
-    PlacementPolicy, ProximityChoice, SimReport, StaleLoad,
+    simulate_source, CacheNetwork, LeastLoadedInBall, NearestReplica, PlacementPolicy,
+    ProximityChoice, RequestSource, SimReport, StaleLoad, UncachedPolicy,
 };
 use paba_popularity::Popularity;
 use paba_topology::Torus;
 use paba_util::{Summary, Table};
+use paba_workload::{TraceWriter, WorkloadSpec};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -18,10 +19,12 @@ pub fn print_help() {
 (Pourmiri, Jafari Siavoshani, Shariatpanahi; IPDPS 2017)
 
 USAGE:
-  paba simulate [options]    run the static cache-network model
-  paba queue [options]       run the continuous-time (supermarket) model
-  paba ballsbins [options]   run a classic balls-into-bins process
-  paba help                  show this text
+  paba simulate [options]             run the static cache-network model
+  paba queue [options]                run the continuous-time (supermarket) model
+  paba ballsbins [options]            run a classic balls-into-bins process
+  paba workload generate [options]    generate a request trace file
+  paba workload inspect [options]     summarize a request trace file
+  paba help                           show this text
 
 SIMULATE OPTIONS (defaults in parentheses):
   --side N          torus side, n = side^2 (45)
@@ -33,11 +36,34 @@ SIMULATE OPTIONS (defaults in parentheses):
   --radius R        proximity radius, integer or 'inf' (inf)
   --choices D       number of choices for d-choice (2)
   --stale P         refresh load info only every P requests (1 = fresh)
-  --requests Q      requests per run (n)
+  --requests Q      requests per run (n; trace length for --workload trace)
   --runs R          Monte-Carlo runs (20)
   --seed S          master seed (20170529)
   --grid            use the bounded grid instead of the torus
   --csv             emit CSV instead of a table
+  --workload W      iid | hotspot | zipf-origins | flash-crowd | shifting
+                    | trace (iid), plus the workload options below
+
+WORKLOAD OPTIONS (with `paba simulate --workload ...` or `paba workload generate`):
+  --hotspots H      number of hotspot centers (4)
+  --hot-radius R    ball radius around each center (3)
+  --hot-fraction F  probability a request is hotspot-local (0.8)
+  --hotspot-seed S  seed for center placement (1)
+  --origin-gamma G  Zipf exponent over origin ranks (1.0)
+  --flash-file F    boosted file id (0)
+  --flash-start T   first boosted request (0)
+  --flash-duration D  boosted window length in requests (1000)
+  --flash-boost B   weight multiplier during the window (50)
+  --flash-tau T     post-window decay constant in requests (0 = hard stop)
+  --shift-epoch E   requests per popularity epoch (500)
+  --shift-step S    rank rotation per epoch (1)
+  --trace PATH      trace file to replay (with --workload trace)
+  --cycle           wrap a finite trace instead of stopping
+
+WORKLOAD GENERATE/INSPECT:
+  generate: --out PATH (required; .csv extension = CSV, else binary),
+            --workload/--side/--files/--cache/--gamma/--requests/--seed as above
+  inspect:  --trace PATH (required), --top N hottest files/origins to list (5)
 
 QUEUE OPTIONS:
   --side/--files/--cache/--gamma/--radius/--choices/--seed as above
@@ -57,8 +83,39 @@ BALLSBINS OPTIONS:
 }
 
 const SIM_KEYS: &[&str] = &[
-    "side", "files", "cache", "gamma", "placement", "strategy", "radius", "choices",
-    "stale", "requests", "runs", "seed", "grid", "csv",
+    "side",
+    "files",
+    "cache",
+    "gamma",
+    "placement",
+    "strategy",
+    "radius",
+    "choices",
+    "stale",
+    "requests",
+    "runs",
+    "seed",
+    "grid",
+    "csv",
+];
+
+/// Workload-family option keys shared by `simulate` and `workload generate`.
+const WORKLOAD_KEYS: &[&str] = &[
+    "workload",
+    "hotspots",
+    "hot-radius",
+    "hot-fraction",
+    "hotspot-seed",
+    "origin-gamma",
+    "flash-file",
+    "flash-start",
+    "flash-duration",
+    "flash-boost",
+    "flash-tau",
+    "shift-epoch",
+    "shift-step",
+    "trace",
+    "cycle",
 ];
 
 fn popularity(gamma: f64) -> Popularity {
@@ -66,6 +123,42 @@ fn popularity(gamma: f64) -> Popularity {
         Popularity::Uniform
     } else {
         Popularity::zipf(gamma)
+    }
+}
+
+/// Parse the `--workload` family of options into a [`WorkloadSpec`].
+fn workload_spec(a: &Args) -> Result<WorkloadSpec, String> {
+    match a.str_or("workload", "iid").as_str() {
+        "iid" => Ok(WorkloadSpec::Iid),
+        "hotspot" => Ok(WorkloadSpec::Hotspot {
+            hotspots: a.parse_or("hotspots", 4u32)?,
+            radius: a.parse_or("hot-radius", 3u32)?,
+            fraction: a.parse_or("hot-fraction", 0.8f64)?,
+            seed: a.parse_or("hotspot-seed", 1u64)?,
+        }),
+        "zipf-origins" => Ok(WorkloadSpec::ZipfOrigins {
+            gamma: a.parse_or("origin-gamma", 1.0f64)?,
+        }),
+        "flash-crowd" => Ok(WorkloadSpec::FlashCrowd {
+            file: a.parse_or("flash-file", 0u32)?,
+            start: a.parse_or("flash-start", 0u64)?,
+            duration: a.parse_or("flash-duration", 1000u64)?,
+            boost: a.parse_or("flash-boost", 50.0f64)?,
+            tau: a.parse_or("flash-tau", 0.0f64)?,
+        }),
+        "shifting" => Ok(WorkloadSpec::Shifting {
+            epoch: a.parse_or("shift-epoch", 500u64)?,
+            step: a.parse_or("shift-step", 1u32)?,
+        }),
+        "trace" => WorkloadSpec::load(
+            a.get("trace")
+                .ok_or("--workload trace needs --trace <path>")?,
+            a.flag("cycle"),
+        ),
+        other => Err(format!(
+            "--workload: unknown workload '{other}' \
+             (iid | hotspot | zipf-origins | flash-crowd | shifting | trace)"
+        )),
     }
 }
 
@@ -85,9 +178,21 @@ fn summarize_reports(reports: &[SimReport]) -> SimStats {
     }
 }
 
+/// Error unless the command was invoked without a positional action
+/// (only `paba workload <action>` takes one).
+fn reject_action(a: &Args) -> Result<(), String> {
+    match &a.action {
+        Some(action) => Err(format!("unexpected positional argument '{action}'")),
+        None => Ok(()),
+    }
+}
+
 /// `paba simulate`.
 pub(crate) fn simulate_cmd_impl(a: &Args) -> Result<(SimStats, usize), String> {
-    let unknown = a.unknown_keys(SIM_KEYS);
+    reject_action(a)?;
+    let mut known = SIM_KEYS.to_vec();
+    known.extend_from_slice(WORKLOAD_KEYS);
+    let unknown = a.unknown_keys(&known);
     if !unknown.is_empty() {
         return Err(format!("unknown option(s): {unknown:?} (see 'paba help')"));
     }
@@ -110,9 +215,11 @@ pub(crate) fn simulate_cmd_impl(a: &Args) -> Result<(SimStats, usize), String> {
     }
     let placement = a.str_or("placement", "proportional");
     if a.flag("grid") {
-        return Err("--grid: the CLI currently drives the torus; use the library API \
+        return Err(
+            "--grid: the CLI currently drives the torus; use the library API \
                     (CacheNetworkBuilder::build_grid) for grid runs"
-            .into());
+                .into(),
+        );
     }
 
     let policy = match placement.as_str() {
@@ -123,68 +230,75 @@ pub(crate) fn simulate_cmd_impl(a: &Args) -> Result<(SimStats, usize), String> {
         other => return Err(format!("--placement: unknown policy '{other}'")),
     };
 
-    let reports: Vec<SimReport> =
-        paba_mcrunner::run_parallel(runs, seed, None, |run_idx, rng| {
-            let net: CacheNetwork<Torus> = if placement == "dht" {
-                let library = paba_core::Library::new(k, popularity(gamma));
-                let p = paba_dht::dht_placement(
-                    side * side,
-                    &library,
-                    &paba_dht::DhtPlacementConfig {
-                        vnodes: 128,
-                        salt: paba_util::mix_seed(seed, run_idx as u64),
-                        rule: paba_dht::ReplicationRule::Proportional { m },
-                    },
-                );
-                CacheNetwork::from_parts(Torus::new(side), library, p)
-            } else {
-                CacheNetwork::builder()
-                    .torus_side(side)
-                    .library(k, popularity(gamma))
-                    .cache_size(m)
-                    .placement_policy(policy)
-                    .build(rng)
-            };
-            let requests = if requests_opt == 0 {
-                net.n() as u64
-            } else {
-                requests_opt
-            };
-            let run =
-                |s: &mut dyn FnMut(&CacheNetwork<Torus>, &mut SmallRng) -> SimReport,
-                 rng: &mut SmallRng| s(&net, rng);
-            match strategy.as_str() {
-                "nearest" => run(
-                    &mut |net, rng| {
-                        let mut s = NearestReplica::new();
-                        run_simulation(net, &mut s, requests, rng)
-                    },
-                    rng,
-                ),
-                "two-choice" | "d-choice" => run(
-                    &mut |net, rng| {
-                        let d = if strategy == "two-choice" { 2 } else { choices };
-                        if stale > 1 {
-                            let mut s =
-                                StaleLoad::new(ProximityChoice::with_choices(radius, d), stale);
-                            run_simulation(net, &mut s, requests, rng)
-                        } else {
-                            let mut s = ProximityChoice::with_choices(radius, d);
-                            run_simulation(net, &mut s, requests, rng)
-                        }
-                    },
-                    rng,
-                ),
-                "least-loaded" => run(
-                    &mut |net, rng| {
-                        let mut s = LeastLoadedInBall::new(radius);
-                        run_simulation(net, &mut s, requests, rng)
-                    },
-                    rng,
-                ),
-                other => unreachable!("strategy '{other}' was validated before spawning"),
+    // Workload selection: parsed and validated once (traces load here),
+    // then instantiated fresh for every Monte-Carlo run.
+    let spec = workload_spec(a)?;
+    spec.validate(side * side, k)?;
+    if let WorkloadSpec::Replay {
+        trace,
+        cycle: false,
+    } = &spec
+    {
+        if requests_opt > trace.len() {
+            return Err(format!(
+                "--requests {requests_opt} exceeds the trace length {} (pass --cycle to wrap)",
+                trace.len()
+            ));
+        }
+    }
+
+    let reports: Vec<SimReport> = paba_mcrunner::run_parallel(runs, seed, None, |run_idx, rng| {
+        let net: CacheNetwork<Torus> = if placement == "dht" {
+            let library = paba_core::Library::new(k, popularity(gamma));
+            let p = paba_dht::dht_placement(
+                side * side,
+                &library,
+                &paba_dht::DhtPlacementConfig {
+                    vnodes: 128,
+                    salt: paba_util::mix_seed(seed, run_idx as u64),
+                    rule: paba_dht::ReplicationRule::Proportional { m },
+                },
+            );
+            CacheNetwork::from_parts(Torus::new(side), library, p)
+        } else {
+            CacheNetwork::builder()
+                .torus_side(side)
+                .library(k, popularity(gamma))
+                .cache_size(m)
+                .placement_policy(policy)
+                .build(rng)
+        };
+        let mut source = spec
+            .build(&net, UncachedPolicy::ResampleFile)
+            .expect("spec was validated before spawning runs");
+        let requests = if requests_opt != 0 {
+            requests_opt
+        } else {
+            // Finite sources (trace replay) default to their length.
+            RequestSource::<Torus>::size_hint(&source).unwrap_or(net.n() as u64)
+        };
+        match strategy.as_str() {
+            "nearest" => {
+                let mut s = NearestReplica::new();
+                simulate_source(&net, &mut s, &mut source, requests, rng)
             }
-        });
+            "two-choice" | "d-choice" => {
+                let d = if strategy == "two-choice" { 2 } else { choices };
+                if stale > 1 {
+                    let mut s = StaleLoad::new(ProximityChoice::with_choices(radius, d), stale);
+                    simulate_source(&net, &mut s, &mut source, requests, rng)
+                } else {
+                    let mut s = ProximityChoice::with_choices(radius, d);
+                    simulate_source(&net, &mut s, &mut source, requests, rng)
+                }
+            }
+            "least-loaded" => {
+                let mut s = LeastLoadedInBall::new(radius);
+                simulate_source(&net, &mut s, &mut source, requests, rng)
+            }
+            other => unreachable!("strategy '{other}' was validated before spawning"),
+        }
+    });
     Ok((summarize_reports(&reports), runs))
 }
 
@@ -216,9 +330,10 @@ pub fn simulate(a: &Args) -> Result<(), String> {
 
 /// `paba queue`.
 pub fn queue(a: &Args) -> Result<(), String> {
+    reject_action(a)?;
     let known = [
-        "side", "files", "cache", "gamma", "radius", "choices", "lambda", "horizon",
-        "warmup", "seed", "csv",
+        "side", "files", "cache", "gamma", "radius", "choices", "lambda", "horizon", "warmup",
+        "seed", "csv",
     ];
     let unknown = a.unknown_keys(&known);
     if !unknown.is_empty() {
@@ -266,7 +381,10 @@ pub fn queue(a: &Args) -> Result<(), String> {
         "Little's-law response".to_string(),
         format!("{:.4}", rep.littles_law_response()),
     ]);
-    t.push_row(["comm cost (hops)".to_string(), format!("{:.4}", rep.comm_cost)]);
+    t.push_row([
+        "comm cost (hops)".to_string(),
+        format!("{:.4}", rep.comm_cost),
+    ]);
     for kq in 1..=6usize {
         t.push_row([format!("Pr[Q >= {kq}]"), format!("{:.5}", rep.tail_at(kq))]);
     }
@@ -280,7 +398,10 @@ pub fn queue(a: &Args) -> Result<(), String> {
 
 /// `paba ballsbins`.
 pub fn ballsbins(a: &Args) -> Result<(), String> {
-    let known = ["process", "bins", "balls", "d", "beta", "batch", "runs", "seed", "csv"];
+    reject_action(a)?;
+    let known = [
+        "process", "bins", "balls", "d", "beta", "batch", "runs", "seed", "csv",
+    ];
     let unknown = a.unknown_keys(&known);
     if !unknown.is_empty() {
         return Err(format!("unknown option(s): {unknown:?} (see 'paba help')"));
@@ -309,7 +430,15 @@ pub fn ballsbins(a: &Args) -> Result<(), String> {
         res.max_load() as f64
     });
     let s = paba_mcrunner::summarize(maxes.iter().copied());
-    let mut t = Table::new(["process", "bins", "balls", "max load (mean)", "ci95", "min", "max"]);
+    let mut t = Table::new([
+        "process",
+        "bins",
+        "balls",
+        "max load (mean)",
+        "ci95",
+        "min",
+        "max",
+    ]);
     t.push_row([
         process,
         format!("{n}"),
@@ -319,6 +448,123 @@ pub fn ballsbins(a: &Args) -> Result<(), String> {
         format!("{}", s.min),
         format!("{}", s.max),
     ]);
+    if a.flag("csv") {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.to_markdown());
+    }
+    Ok(())
+}
+
+/// `paba workload <generate|inspect>`.
+pub fn workload(a: &Args) -> Result<(), String> {
+    match a.action.as_deref() {
+        Some("generate") => workload_generate(a),
+        Some("inspect") => workload_inspect(a),
+        Some(other) => Err(format!(
+            "unknown workload action '{other}' (generate | inspect)"
+        )),
+        None => Err("workload needs an action: generate | inspect".into()),
+    }
+}
+
+fn workload_generate(a: &Args) -> Result<(), String> {
+    let mut known = vec!["side", "files", "cache", "gamma", "requests", "seed", "out"];
+    known.extend_from_slice(WORKLOAD_KEYS);
+    let unknown = a.unknown_keys(&known);
+    if !unknown.is_empty() {
+        return Err(format!("unknown option(s): {unknown:?} (see 'paba help')"));
+    }
+    let side: u32 = a.parse_or("side", 45)?;
+    let k: u32 = a.parse_or("files", 500)?;
+    let m: u32 = a.parse_or("cache", 10)?;
+    let gamma: f64 = a.parse_or("gamma", 0.0)?;
+    let seed: u64 = a.parse_or("seed", paba_util::envcfg::DEFAULT_SEED)?;
+    let requests_opt: u64 = a.parse_or("requests", 0)?;
+    let out = a.get("out").ok_or("workload generate needs --out <path>")?;
+    let spec = workload_spec(a)?;
+    spec.validate(side * side, k)?;
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let net = CacheNetwork::builder()
+        .torus_side(side)
+        .library(k, popularity(gamma))
+        .cache_size(m)
+        .build(&mut rng);
+    let mut source = spec.build(&net, UncachedPolicy::ResampleFile)?;
+    let requests = if requests_opt != 0 {
+        requests_opt
+    } else {
+        RequestSource::<Torus>::size_hint(&source).unwrap_or(net.n() as u64)
+    };
+    let mut w = TraceWriter::create(out, net.n(), net.k())?;
+    for _ in 0..requests {
+        w.write(source.next_request(&net, &mut rng))?;
+    }
+    let written = w.finish()?;
+    eprintln!(
+        "wrote {written} requests ({} workload, n={}, K={}) to {out}",
+        spec.name(),
+        net.n(),
+        net.k()
+    );
+    Ok(())
+}
+
+fn workload_inspect(a: &Args) -> Result<(), String> {
+    let unknown = a.unknown_keys(&["trace", "top", "csv"]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown option(s): {unknown:?} (see 'paba help')"));
+    }
+    let path = a
+        .get("trace")
+        .ok_or("workload inspect needs --trace <path>")?;
+    let top: usize = a.parse_or("top", 5)?;
+    let trace = paba_workload::Trace::load(path)?;
+
+    let mut file_counts = vec![0u64; trace.k as usize];
+    let mut origin_counts = vec![0u64; trace.n as usize];
+    for r in &trace.records {
+        file_counts[r.file as usize] += 1;
+        origin_counts[r.origin as usize] += 1;
+    }
+    let total = trace.len().max(1) as f64;
+    let ranked = |counts: &[u64]| -> Vec<(usize, u64)> {
+        let mut v: Vec<(usize, u64)> = counts
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(top);
+        v
+    };
+
+    let mut t = Table::new(["property", "value"]);
+    t.push_row(["records".to_string(), format!("{}", trace.len())]);
+    t.push_row(["nodes n".to_string(), format!("{}", trace.n)]);
+    t.push_row(["library K".to_string(), format!("{}", trace.k)]);
+    t.push_row([
+        "distinct files".to_string(),
+        format!("{}", file_counts.iter().filter(|&&c| c > 0).count()),
+    ]);
+    t.push_row([
+        "distinct origins".to_string(),
+        format!("{}", origin_counts.iter().filter(|&&c| c > 0).count()),
+    ]);
+    for (f, c) in ranked(&file_counts) {
+        t.push_row([
+            format!("top file {f}"),
+            format!("{c} requests ({:.2}%)", 100.0 * c as f64 / total),
+        ]);
+    }
+    for (o, c) in ranked(&origin_counts) {
+        t.push_row([
+            format!("top origin {o}"),
+            format!("{c} requests ({:.2}%)", 100.0 * c as f64 / total),
+        ]);
+    }
     if a.flag("csv") {
         print!("{}", t.to_csv());
     } else {
@@ -383,7 +629,9 @@ mod tests {
     #[test]
     fn ballsbins_runs_every_process() {
         for p in ["one", "two", "d", "beta", "batched"] {
-            let a = args(&format!("ballsbins --process {p} --bins 64 --balls 64 --runs 2"));
+            let a = args(&format!(
+                "ballsbins --process {p} --bins 64 --balls 64 --runs 2"
+            ));
             assert!(ballsbins(&a).is_ok(), "{p}");
         }
     }
@@ -392,5 +640,102 @@ mod tests {
     fn ballsbins_rejects_unknown_process() {
         let a = args("ballsbins --process three");
         assert!(ballsbins(&a).unwrap_err().contains("three"));
+    }
+
+    #[test]
+    fn simulate_runs_every_synthetic_workload() {
+        for w in ["hotspot", "zipf-origins", "flash-crowd", "shifting"] {
+            let a = args(&format!(
+                "simulate --side 6 --files 12 --cache 2 --runs 2 --workload {w}"
+            ));
+            let (stats, _) = simulate_cmd_impl(&a).unwrap();
+            assert!(stats.max_load.mean >= 1.0, "{w}");
+        }
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_workload() {
+        let a = args("simulate --workload chaos");
+        assert!(simulate_cmd_impl(&a).unwrap_err().contains("chaos"));
+    }
+
+    #[test]
+    fn simulate_rejects_invalid_workload_params() {
+        let a = args("simulate --side 6 --files 12 --workload flash-crowd --flash-file 99");
+        assert!(simulate_cmd_impl(&a).unwrap_err().contains("flash file"));
+    }
+
+    #[test]
+    fn workload_generate_inspect_and_replay_round_trip() {
+        let dir = std::env::temp_dir().join("paba_cli_workload_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let path_s = path.display();
+        let g = args(&format!(
+            "workload generate --side 6 --files 12 --cache 2 --requests 300 \
+             --workload hotspot --out {path_s}"
+        ));
+        workload(&g).unwrap();
+        let i = args(&format!("workload inspect --trace {path_s}"));
+        workload(&i).unwrap();
+        // Replaying through `simulate` must work and default to the
+        // trace's length.
+        let s = args(&format!(
+            "simulate --side 6 --files 12 --cache 2 --runs 2 --workload trace --trace {path_s}"
+        ));
+        let (stats, _) = simulate_cmd_impl(&s).unwrap();
+        assert!(stats.max_load.mean >= 1.0);
+        // Replayed workloads are identical across runs and strategies: the
+        // request stream is frozen, only assignment randomness differs.
+        let too_many = args(&format!(
+            "simulate --side 6 --files 12 --cache 2 --requests 301 --workload trace \
+             --trace {path_s}"
+        ));
+        assert!(simulate_cmd_impl(&too_many)
+            .unwrap_err()
+            .contains("exceeds the trace length"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn workload_requires_action() {
+        assert!(workload(&args("workload")).unwrap_err().contains("action"));
+        assert!(workload(&args("workload prune"))
+            .unwrap_err()
+            .contains("prune"));
+    }
+
+    #[test]
+    fn non_workload_commands_reject_stray_positionals() {
+        // Only `workload` takes a second positional; everywhere else a
+        // stray one must fail loudly, not be silently absorbed.
+        assert!(
+            simulate_cmd_impl(&args("simulate bogus --side 6 --files 12"))
+                .unwrap_err()
+                .contains("bogus")
+        );
+        assert!(queue(&args("queue bogus")).unwrap_err().contains("bogus"));
+        assert!(ballsbins(&args("ballsbins bogus"))
+            .unwrap_err()
+            .contains("bogus"));
+    }
+
+    #[test]
+    fn workload_trace_shape_mismatch_rejected() {
+        let dir = std::env::temp_dir().join("paba_cli_workload_mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let path_s = path.display();
+        let g = args(&format!(
+            "workload generate --side 6 --files 12 --cache 2 --requests 50 --out {path_s}"
+        ));
+        workload(&g).unwrap();
+        let s = args(&format!(
+            "simulate --side 7 --files 12 --cache 2 --runs 1 --workload trace --trace {path_s}"
+        ));
+        assert!(simulate_cmd_impl(&s)
+            .unwrap_err()
+            .contains("does not match"));
+        std::fs::remove_file(&path).ok();
     }
 }

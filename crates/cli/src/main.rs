@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! paba simulate --side 45 --files 500 --cache 20 --strategy two-choice --radius 8 --runs 50
+//! paba simulate --workload flash-crowd --flash-file 0 --flash-boost 80 --runs 20
 //! paba queue    --side 24 --lambda 0.9 --radius 4 --choices 2
 //! paba ballsbins --process two --bins 4096 --balls 4096 --runs 20
+//! paba workload generate --workload hotspot --out hotspot.trace --requests 100000
+//! paba workload inspect --trace hotspot.trace
 //! paba help
 //! ```
 
@@ -26,6 +29,7 @@ fn main() {
         Some("simulate") => commands::simulate(&parsed),
         Some("queue") => commands::queue(&parsed),
         Some("ballsbins") => commands::ballsbins(&parsed),
+        Some("workload") => commands::workload(&parsed),
         Some("help") | None => {
             commands::print_help();
             Ok(())

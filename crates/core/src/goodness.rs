@@ -51,7 +51,10 @@ impl GoodnessReport {
         }
         let mut max_t_uv = 0u32;
         let mut t_uv_stats = OnlineStats::new();
-        match pair_radius.map(|r| 2 * r).filter(|&l| l < net.topo().diameter()) {
+        match pair_radius
+            .map(|r| 2 * r)
+            .filter(|&l| l < net.topo().diameter())
+        {
             Some(limit) => {
                 for u in 0..n {
                     let mut local_max = 0u32;

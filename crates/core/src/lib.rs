@@ -47,6 +47,7 @@ pub mod network;
 pub mod placement;
 pub mod request;
 pub mod simulate;
+pub mod source;
 pub mod strategy;
 pub mod voronoi;
 
@@ -56,8 +57,11 @@ pub use library::Library;
 pub use metrics::{FallbackKind, SimReport};
 pub use network::{CacheNetwork, CacheNetworkBuilder};
 pub use placement::{Placement, PlacementPolicy};
-pub use request::{Request, UncachedPolicy};
-pub use simulate::{simulate, simulate_observed, simulate_with_policy};
+pub use request::{apply_uncached_policy, Request, UncachedPolicy};
+pub use simulate::{
+    simulate, simulate_observed, simulate_source, simulate_source_observed, simulate_with_policy,
+};
+pub use source::{IidUniform, RequestSource};
 pub use strategy::{
     Assignment, LeastLoadedInBall, NearestReplica, PairMode, ProximityChoice, RadiusFallback,
     StaleLoad, Strategy,
@@ -67,8 +71,9 @@ pub use voronoi::{VoronoiCells, VoronoiComputer};
 /// Convenience re-exports for downstream users.
 pub mod prelude {
     pub use crate::{
-        simulate, simulate_observed, CacheNetwork, Library, NearestReplica, Placement,
-        PlacementPolicy, ProximityChoice, SimReport, Strategy,
+        simulate, simulate_observed, simulate_source, CacheNetwork, IidUniform, Library,
+        NearestReplica, Placement, PlacementPolicy, ProximityChoice, RequestSource, SimReport,
+        Strategy,
     };
     pub use paba_popularity::Popularity;
     pub use paba_topology::{Grid, Topology, Torus};

@@ -2,9 +2,29 @@
 
 use crate::library::Library;
 use crate::placement::{Placement, PlacementPolicy};
-use paba_popularity::Popularity;
+use paba_popularity::{AliasTable, FileId, Popularity};
 use paba_topology::{Grid, Topology, Torus};
 use rand::Rng;
+
+/// O(1) sampler over the *cached* sub-library, i.e. the popularity
+/// profile conditioned on `replica_count(f) > 0`.
+///
+/// Precomputed once per network so [`crate::UncachedPolicy::ResampleFile`]
+/// never has to redraw in a loop: with a tiny cached sub-library the old
+/// rejection loop took O(K) expected draws per request.
+#[derive(Clone, Debug)]
+enum CachedSampler {
+    /// Every file has a replica — the unconditional library sampler is
+    /// already the conditional one.
+    Full,
+    /// Uniform popularity over a strict subset: one uniform index draw.
+    UniformSubset { ids: Vec<FileId> },
+    /// Skewed popularity over a strict subset: alias table over the
+    /// renormalized conditional weights.
+    WeightedSubset { ids: Vec<FileId>, table: AliasTable },
+    /// No file has any replica; drawing panics.
+    Empty,
+}
 
 /// A fully instantiated cache network (the paper's §II-B model): `n`
 /// servers on a topology, a `K`-file library with popularity `P`, and a
@@ -15,6 +35,7 @@ pub struct CacheNetwork<T: Topology> {
     library: Library,
     placement: Placement,
     cached_file_count: u32,
+    cached_sampler: CachedSampler,
 }
 
 impl<T: Topology> CacheNetwork<T> {
@@ -26,13 +47,29 @@ impl<T: Topology> CacheNetwork<T> {
     pub fn from_parts(topo: T, library: Library, placement: Placement) -> Self {
         assert_eq!(placement.n(), topo.n(), "placement/topology node count");
         assert_eq!(placement.k(), library.k(), "placement/library size");
-        let cached_file_count =
-            (0..library.k()).filter(|&f| placement.replica_count(f) > 0).count() as u32;
+        let cached: Vec<FileId> = (0..library.k())
+            .filter(|&f| placement.replica_count(f) > 0)
+            .collect();
+        let cached_file_count = cached.len() as u32;
+        let cached_sampler = if cached_file_count == library.k() {
+            CachedSampler::Full
+        } else if cached.is_empty() {
+            CachedSampler::Empty
+        } else if library.popularity().is_uniform() {
+            CachedSampler::UniformSubset { ids: cached }
+        } else {
+            let weights: Vec<f64> = cached.iter().map(|&f| library.probability(f)).collect();
+            CachedSampler::WeightedSubset {
+                table: AliasTable::new(&weights),
+                ids: cached,
+            }
+        };
         Self {
             topo,
             library,
             placement,
             cached_file_count,
+            cached_sampler,
         }
     }
 
@@ -82,6 +119,23 @@ impl<T: Topology> CacheNetwork<T> {
     #[inline]
     pub fn sample_file<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
         self.library.sample_file(rng)
+    }
+
+    /// Draw a file id from the popularity profile *conditioned on the file
+    /// being cached somewhere* — O(1), no rejection loop.
+    ///
+    /// # Panics
+    /// If no file has any replica.
+    #[inline]
+    pub fn sample_cached_file<R: Rng + ?Sized>(&self, rng: &mut R) -> FileId {
+        match &self.cached_sampler {
+            CachedSampler::Full => self.library.sample_file(rng),
+            CachedSampler::UniformSubset { ids } => ids[rng.gen_range(0..ids.len())],
+            CachedSampler::WeightedSubset { ids, table } => ids[table.sample(rng) as usize],
+            CachedSampler::Empty => {
+                panic!("no file has any replica; cannot sample a cached file")
+            }
+        }
     }
 }
 
@@ -168,8 +222,7 @@ impl CacheNetworkBuilder {
     pub fn build<R: Rng + ?Sized>(self, rng: &mut R) -> CacheNetwork<Torus> {
         let topo = Torus::new(self.side);
         let library = Library::new(self.k, self.popularity.clone());
-        let placement =
-            Placement::generate(topo.n(), &library, self.m, self.policy, rng);
+        let placement = Placement::generate(topo.n(), &library, self.m, self.policy, rng);
         CacheNetwork::from_parts(topo, library, placement)
     }
 
@@ -177,8 +230,7 @@ impl CacheNetworkBuilder {
     pub fn build_grid<R: Rng + ?Sized>(self, rng: &mut R) -> CacheNetwork<Grid> {
         let topo = Grid::new(self.side);
         let library = Library::new(self.k, self.popularity.clone());
-        let placement =
-            Placement::generate(topo.n(), &library, self.m, self.policy, rng);
+        let placement = Placement::generate(topo.n(), &library, self.m, self.policy, rng);
         CacheNetwork::from_parts(topo, library, placement)
     }
 }
@@ -246,6 +298,52 @@ mod tests {
         assert_eq!(net.m(), 12);
         assert_eq!(net.cached_file_count(), 12);
         assert!(net.placement().is_full());
+    }
+
+    #[test]
+    fn cached_sampler_only_returns_cached_files() {
+        // K ≫ total cache slots: many uncached files, uniform profile.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let net = CacheNetwork::builder()
+            .torus_side(5)
+            .library(500, Popularity::Uniform)
+            .cache_size(1)
+            .build(&mut rng);
+        assert!(net.cached_file_count() < net.k());
+        for _ in 0..5000 {
+            let f = net.sample_cached_file(&mut rng);
+            assert!(net.placement().replica_count(f) > 0, "uncached draw {f}");
+        }
+    }
+
+    #[test]
+    fn cached_sampler_matches_conditional_distribution() {
+        // Zipf profile with a sparse placement: empirical frequencies must
+        // match the library weights renormalized over the cached subset.
+        let mut rng = SmallRng::seed_from_u64(12);
+        let net = CacheNetwork::builder()
+            .torus_side(5)
+            .library(200, Popularity::zipf(1.0))
+            .cache_size(1)
+            .build(&mut rng);
+        let cached: Vec<u32> = (0..net.k())
+            .filter(|&f| net.placement().replica_count(f) > 0)
+            .collect();
+        assert!(cached.len() > 3 && (cached.len() as u32) < net.k());
+        let z: f64 = cached.iter().map(|&f| net.library().probability(f)).sum();
+        let trials = 200_000u32;
+        let mut counts = vec![0u32; net.k() as usize];
+        for _ in 0..trials {
+            counts[net.sample_cached_file(&mut rng) as usize] += 1;
+        }
+        for &f in &cached {
+            let expect = trials as f64 * net.library().probability(f) / z;
+            let got = counts[f as usize] as f64;
+            assert!(
+                (got - expect).abs() < 6.0 * expect.sqrt().max(3.0),
+                "file {f}: {got} vs {expect}"
+            );
+        }
     }
 
     #[test]

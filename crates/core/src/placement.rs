@@ -15,7 +15,7 @@ use paba_topology::NodeId;
 use rand::Rng;
 
 /// How cache contents are drawn.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum PlacementPolicy {
     /// The paper's model: `M` i.i.d. draws from `P` *with replacement*.
     #[default]
@@ -82,10 +82,7 @@ impl Placement {
             }
             PlacementPolicy::ProportionalDistinct => {
                 assert!(m > 0, "cache size must be positive");
-                assert!(
-                    m <= k,
-                    "distinct placement needs M ≤ K (got M={m}, K={k})"
-                );
+                assert!(m <= k, "distinct placement needs M ≤ K (got M={m}, K={k})");
                 // Zero-probability files can never be drawn; rejection
                 // sampling must have at least M drawable files or it
                 // would loop forever.
@@ -446,7 +443,9 @@ mod tests {
             &mut rng(2),
         );
         for f in 0..10u32 {
-            let nodes: Vec<u32> = (0..p.replica_count(f)).map(|i| p.replica_at(f, i)).collect();
+            let nodes: Vec<u32> = (0..p.replica_count(f))
+                .map(|i| p.replica_at(f, i))
+                .collect();
             assert!(nodes.windows(2).all(|w| w[0] < w[1]), "file {f}: {nodes:?}");
         }
     }

@@ -22,11 +22,12 @@ pub struct Request {
 }
 
 /// What to do when a sampled file has no replica anywhere in the network.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum UncachedPolicy {
-    /// Redraw the file until a cached one comes up — i.e. condition the
-    /// request distribution on the cached sub-library. Keeps "n balls, all
-    /// served" exactly like the paper's balls-into-bins framing. Default.
+    /// Condition the request distribution on the cached sub-library (an
+    /// O(1) draw from [`crate::CacheNetwork::sample_cached_file`]'s
+    /// precomputed conditional sampler). Keeps "n balls, all served"
+    /// exactly like the paper's balls-into-bins framing. Default.
     #[default]
     ResampleFile,
     /// Serve the request at its origin (models a backhaul fetch): the
@@ -50,28 +51,47 @@ impl Request {
         rng: &mut R,
     ) -> Self {
         let origin = rng.gen_range(0..net.n());
-        let mut file = net.library().sample_file(rng);
-        match policy {
-            UncachedPolicy::ResampleFile => {
-                if net.placement().replica_count(file) == 0 {
-                    assert!(
-                        net.cached_file_count() > 0,
-                        "no file has any replica; cannot resample"
-                    );
-                    while net.placement().replica_count(file) == 0 {
-                        file = net.library().sample_file(rng);
-                    }
-                }
-            }
-            UncachedPolicy::ServeAtOrigin => {}
-            UncachedPolicy::Forbid => {
-                assert!(
-                    net.placement().replica_count(file) > 0,
-                    "file {file} has no replica (UncachedPolicy::Forbid)"
-                );
-            }
-        }
+        let file = net.library().sample_file(rng);
+        let file = apply_uncached_policy(net, file, policy, rng);
         Self { origin, file }
+    }
+}
+
+/// Post-process a popularity draw according to `policy`: resample an
+/// uncached `file` from the conditional cached-files sampler, pass it
+/// through, or panic — the shared tail of every request source.
+///
+/// # Panics
+/// See [`Request::sample`].
+#[inline]
+pub fn apply_uncached_policy<T: Topology, R: Rng + ?Sized>(
+    net: &CacheNetwork<T>,
+    file: FileId,
+    policy: UncachedPolicy,
+    rng: &mut R,
+) -> FileId {
+    match policy {
+        UncachedPolicy::ResampleFile => {
+            if net.placement().replica_count(file) == 0 {
+                assert!(
+                    net.cached_file_count() > 0,
+                    "no file has any replica; cannot resample"
+                );
+                // One O(1) draw from the precomputed conditional sampler —
+                // the old redraw loop needed O(K) expected draws when only
+                // a few files were cached.
+                return net.sample_cached_file(rng);
+            }
+            file
+        }
+        UncachedPolicy::ServeAtOrigin => file,
+        UncachedPolicy::Forbid => {
+            assert!(
+                net.placement().replica_count(file) > 0,
+                "file {file} has no replica (UncachedPolicy::Forbid)"
+            );
+            file
+        }
     }
 }
 
@@ -145,8 +165,9 @@ mod tests {
         let mut counts = vec![0u32; net.n() as usize];
         let trials = 25_000;
         for _ in 0..trials {
-            counts[Request::sample(&net, UncachedPolicy::ResampleFile, &mut rng).origin
-                as usize] += 1;
+            counts
+                [Request::sample(&net, UncachedPolicy::ResampleFile, &mut rng).origin as usize] +=
+                1;
         }
         let expect = trials as f64 / net.n() as f64;
         for (u, &c) in counts.iter().enumerate() {

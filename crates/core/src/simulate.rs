@@ -8,6 +8,7 @@
 use crate::metrics::SimReport;
 use crate::network::CacheNetwork;
 use crate::request::{Request, UncachedPolicy};
+use crate::source::{IidUniform, RequestSource};
 use crate::strategy::{Assignment, Strategy};
 use paba_topology::Topology;
 use rand::Rng;
@@ -46,7 +47,7 @@ pub fn simulate_observed<T, S, R, F>(
     requests: u64,
     policy: UncachedPolicy,
     rng: &mut R,
-    mut observer: F,
+    observer: F,
 ) -> SimReport
 where
     T: Topology,
@@ -54,9 +55,53 @@ where
     R: Rng + ?Sized,
     F: FnMut(Request, Assignment),
 {
+    let mut source = IidUniform::with_policy(policy);
+    simulate_source_observed(net, strategy, &mut source, requests, rng, observer)
+}
+
+/// Run `requests` sequential requests drawn from an arbitrary
+/// [`RequestSource`] through `strategy`.
+///
+/// This is the primitive every other `simulate*` entry point wraps; the
+/// legacy entry points are thin wrappers over [`IidUniform`]. For a finite
+/// source (e.g. a trace replay), `requests` may not exceed the source's
+/// remaining length — finite sources panic when drawn past the end.
+pub fn simulate_source<T, S, W, R>(
+    net: &CacheNetwork<T>,
+    strategy: &mut S,
+    source: &mut W,
+    requests: u64,
+    rng: &mut R,
+) -> SimReport
+where
+    T: Topology,
+    S: Strategy<T>,
+    W: RequestSource<T>,
+    R: Rng + ?Sized,
+{
+    simulate_source_observed(net, strategy, source, requests, rng, |_, _| {})
+}
+
+/// [`simulate_source`] invoking `observer(request, assignment)` after
+/// every decision.
+pub fn simulate_source_observed<T, S, W, R, F>(
+    net: &CacheNetwork<T>,
+    strategy: &mut S,
+    source: &mut W,
+    requests: u64,
+    rng: &mut R,
+    mut observer: F,
+) -> SimReport
+where
+    T: Topology,
+    S: Strategy<T>,
+    W: RequestSource<T>,
+    R: Rng + ?Sized,
+    F: FnMut(Request, Assignment),
+{
     let mut report = SimReport::new(net.n());
     for _ in 0..requests {
-        let req = Request::sample(net, policy, rng);
+        let req = source.next_request(net, rng);
         let a = strategy.assign(net, &report.loads, req, rng);
         report.record(a.server, a.hops, a.fallback);
         observer(req, a);

@@ -65,22 +65,20 @@ impl<T: Topology> Strategy<T> for LeastLoadedInBall {
         // Reservoir-argmin over the eligible pool, uniform among ties.
         let mut best: Option<NodeId> = None;
         let mut ties = 0u32;
-        let mut consider = |v: NodeId, rng: &mut R| {
-            match best {
-                None => {
+        let mut consider = |v: NodeId, rng: &mut R| match best {
+            None => {
+                best = Some(v);
+                ties = 1;
+            }
+            Some(b) => {
+                let (lv, lb) = (loads[v as usize], loads[b as usize]);
+                if lv < lb {
                     best = Some(v);
                     ties = 1;
-                }
-                Some(b) => {
-                    let (lv, lb) = (loads[v as usize], loads[b as usize]);
-                    if lv < lb {
+                } else if lv == lb {
+                    ties += 1;
+                    if rng.gen_range(0..ties) == 0 {
                         best = Some(v);
-                        ties = 1;
-                    } else if lv == lb {
-                        ties += 1;
-                        if rng.gen_range(0..ties) == 0 {
-                            best = Some(v);
-                        }
                     }
                 }
             }

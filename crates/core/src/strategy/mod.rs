@@ -220,8 +220,7 @@ mod tests {
                 };
                 let ties: Vec<u32> = (0..net.n())
                     .filter(|&v| {
-                        net.placement().caches(v, file)
-                            && net.topo().dist(origin, v) == best
+                        net.placement().caches(v, file) && net.topo().dist(origin, v) == best
                     })
                     .collect();
                 if ties.len() < 2 {

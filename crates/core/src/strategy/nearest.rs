@@ -127,8 +127,7 @@ mod tests {
             let rep = simulate(&net, &mut s, 4 * net.n() as u64, &mut rng);
             rep.comm_cost()
         };
-        let mut avg =
-            |k: u32| (0..4).map(|s| cost(k, 100 + s)).sum::<f64>() / 4.0;
+        let mut avg = |k: u32| (0..4).map(|s| cost(k, 100 + s)).sum::<f64>() / 4.0;
         let c100 = avg(100);
         let c400 = avg(400);
         let ratio = c400 / c100;

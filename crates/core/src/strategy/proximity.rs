@@ -510,9 +510,8 @@ mod tests {
                 if cnt == 0 {
                     continue;
                 }
-                let any_near = (0..cnt).any(|i| {
-                    net.topo().dist(origin, net.placement().replica_at(file, i)) <= r
-                });
+                let any_near = (0..cnt)
+                    .any(|i| net.topo().dist(origin, net.placement().replica_at(file, i)) <= r);
                 if !any_near {
                     found = Some((origin, file));
                     break 'search;
@@ -550,14 +549,12 @@ mod tests {
             let library = crate::Library::new(4, Popularity::Uniform);
             let placement = crate::Placement::full(n, 4);
             let net = CacheNetwork::from_parts(topo, library, placement);
-            let mut strat =
-                ProximityChoice::two_choice(None).pair_mode(PairMode::WithReplacement);
+            let mut strat = ProximityChoice::two_choice(None).pair_mode(PairMode::WithReplacement);
             let mut rng = SmallRng::seed_from_u64(seed);
             let rep = simulate(&net, &mut strat, n as u64, &mut rng);
             ours += rep.max_load() as f64 / 6.0;
             let mut rng2 = SmallRng::seed_from_u64(1000 + seed);
-            classic +=
-                paba_ballsbins::two_choice(n, n as u64, &mut rng2).max_load() as f64 / 6.0;
+            classic += paba_ballsbins::two_choice(n, n as u64, &mut rng2).max_load() as f64 / 6.0;
         }
         assert!(
             (ours - classic).abs() <= 0.75,
@@ -603,7 +600,10 @@ mod tests {
             let mut s4 = ProximityChoice::with_choices(None, 4);
             d4 += simulate(&net, &mut s4, net.n() as u64, &mut rng).max_load() as f64;
         }
-        assert!(d4 < d1, "Greedy[4] ({d4}) should beat random replica ({d1})");
+        assert!(
+            d4 < d1,
+            "Greedy[4] ({d4}) should beat random replica ({d1})"
+        );
     }
 
     #[test]
@@ -636,8 +636,7 @@ mod tests {
             let mut sd = ProximityChoice::two_choice(None).pair_mode(PairMode::Distinct);
             dist_avg += simulate(&net, &mut sd, net.n() as u64, &mut rng).max_load() as f64;
             let mut rng = SmallRng::seed_from_u64(900 + seed);
-            let mut sr =
-                ProximityChoice::two_choice(None).pair_mode(PairMode::WithReplacement);
+            let mut sr = ProximityChoice::two_choice(None).pair_mode(PairMode::WithReplacement);
             repl_avg += simulate(&net, &mut sr, net.n() as u64, &mut rng).max_load() as f64;
         }
         assert!(

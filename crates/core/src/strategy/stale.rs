@@ -118,8 +118,7 @@ mod tests {
             (0..runs)
                 .map(|s| {
                     let net = net(100 + s);
-                    let mut strat =
-                        StaleLoad::new(ProximityChoice::two_choice(None), period);
+                    let mut strat = StaleLoad::new(ProximityChoice::two_choice(None), period);
                     let mut rng = SmallRng::seed_from_u64(base + s);
                     simulate(&net, &mut strat, net.n() as u64, &mut rng).max_load() as f64
                 })

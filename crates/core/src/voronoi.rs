@@ -116,7 +116,9 @@ impl VoronoiComputer {
         }
         let mut max_radius = 0u32;
         for v in 0..self.n as usize {
-            *sizes.get_mut(&self.owner[v]).expect("owner must be a source") += 1;
+            *sizes
+                .get_mut(&self.owner[v])
+                .expect("owner must be a source") += 1;
             max_radius = max_radius.max(self.dist[v]);
         }
         (sizes, max_radius)
@@ -269,6 +271,9 @@ mod tests {
         let many = vc
             .compute(&t, &[0, 77, 30, 100, 60, 130, 8, 90])
             .max_cell_size();
-        assert!(many < few, "more replicas should shrink cells: {many} vs {few}");
+        assert!(
+            many < few,
+            "more replicas should shrink cells: {many} vs {few}"
+        );
     }
 }

@@ -116,14 +116,7 @@ mod tests {
         for u in 0..20 {
             assert_eq!(a.node_files(u), b.node_files(u));
         }
-        let c = dht_placement(
-            20,
-            &lib,
-            &DhtPlacementConfig {
-                salt: 10,
-                ..cfg
-            },
-        );
+        let c = dht_placement(20, &lib, &DhtPlacementConfig { salt: 10, ..cfg });
         let same = (0..20).all(|u| a.node_files(u) == c.node_files(u));
         assert!(!same, "different salt should relocate files");
     }

@@ -8,7 +8,7 @@
 //! the *minimal disruption* property that motivates DHTs for cache
 //! networks.
 
-use paba_util::{mix_seed, mix64};
+use paba_util::{mix64, mix_seed};
 
 /// A consistent-hash ring over servers `0..n` with `V` virtual nodes each.
 #[derive(Clone, Debug)]
@@ -239,7 +239,10 @@ mod tests {
         let a = HashRing::new(8, 16, 1);
         let b = HashRing::new(8, 16, 2);
         let differing = (0..500u64).filter(|&k| a.lookup(k) != b.lookup(k)).count();
-        assert!(differing > 100, "salt should reshuffle the ring ({differing})");
+        assert!(
+            differing > 100,
+            "salt should reshuffle the ring ({differing})"
+        );
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //!    sequentially, so floating-point accumulation order is fixed.
 //!
 //! Work is distributed by an atomic work-stealing counter over
-//! [`crossbeam`] scoped threads (no executor dependency, no unsafety).
+//! `std::thread::scope` scoped threads (no executor dependency, no
+//! unsafety).
 //!
 //! ```
 //! use paba_mcrunner::run_parallel;

@@ -37,7 +37,11 @@ impl Progress {
                 .compare_exchange(next, decile + 1, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
         {
-            eprintln!("  … {done}/{} runs ({}%)", self.total, done * 100 / self.total);
+            eprintln!(
+                "  … {done}/{} runs ({}%)",
+                self.total,
+                done * 100 / self.total
+            );
         }
     }
 
@@ -76,16 +80,15 @@ mod tests {
     #[test]
     fn concurrent_ticks_all_counted() {
         let p = Progress::new(1000, false);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..4 {
-                s.spawn(|_| {
+                s.spawn(|| {
                     for _ in 0..250 {
                         p.tick();
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(p.completed(), 1000);
     }
 }

@@ -2,10 +2,10 @@
 
 use crate::progress::Progress;
 use paba_util::{split_seed, OnlineStats, Summary};
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Execute `runs` independent runs of `run_fn` in parallel and return the
 /// outputs **in run-index order**.
@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 ///   from `(master_seed, run_index)`.
 /// * `threads = None` uses available parallelism (capped at `runs`).
 ///
-/// Panics in `run_fn` propagate to the caller (via crossbeam scope).
+/// Panics in `run_fn` propagate to the caller (via the scoped join).
 pub fn run_parallel<O, F>(
     runs: usize,
     master_seed: u64,
@@ -67,44 +67,49 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<O>>> =
-        Mutex::new((0..runs).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|_| {
-                // Batch local results to keep lock traffic low.
-                let mut local: Vec<(usize, O)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= runs {
-                        break;
+    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..runs).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    // Batch local results to keep lock traffic low.
+                    let mut local: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= runs {
+                            break;
+                        }
+                        let mut rng = SmallRng::seed_from_u64(split_seed(master_seed, i as u64));
+                        local.push((i, run_fn(i, &mut rng)));
+                        if let Some(p) = progress {
+                            p.tick();
+                        }
+                        if local.len() >= 64 {
+                            let mut guard = results.lock().unwrap();
+                            for (idx, o) in local.drain(..) {
+                                guard[idx] = Some(o);
+                            }
+                        }
                     }
-                    let mut rng =
-                        SmallRng::seed_from_u64(split_seed(master_seed, i as u64));
-                    local.push((i, run_fn(i, &mut rng)));
-                    if let Some(p) = progress {
-                        p.tick();
-                    }
-                    if local.len() >= 64 {
-                        let mut guard = results.lock();
+                    if !local.is_empty() {
+                        let mut guard = results.lock().unwrap();
                         for (idx, o) in local.drain(..) {
                             guard[idx] = Some(o);
                         }
                     }
-                }
-                if !local.is_empty() {
-                    let mut guard = results.lock();
-                    for (idx, o) in local.drain(..) {
-                        guard[idx] = Some(o);
-                    }
-                }
-            });
+                })
+            })
+            .collect();
+        for h in handles {
+            if h.join().is_err() {
+                panic!("a Monte-Carlo worker panicked");
+            }
         }
-    })
-    .expect("a Monte-Carlo worker panicked");
+    });
 
     results
         .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
         .into_iter()
         .enumerate()
         .map(|(i, o)| o.unwrap_or_else(|| panic!("run {i} produced no output")))

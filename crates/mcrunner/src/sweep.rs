@@ -123,8 +123,7 @@ mod tests {
 
     #[test]
     fn empty_points() {
-        let res: Vec<SweepOutcome<u32, u32>> =
-            sweep(&[], 10, 1, None, false, |_, _, _| 0u32);
+        let res: Vec<SweepOutcome<u32, u32>> = sweep(&[], 10, 1, None, false, |_, _, _| 0u32);
         assert!(res.is_empty());
     }
 

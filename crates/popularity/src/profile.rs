@@ -60,8 +60,7 @@ impl Popularity {
         match self {
             Popularity::Uniform => vec![1.0 / k as f64; k],
             Popularity::Zipf { gamma } => {
-                let mut w: Vec<f64> =
-                    (1..=k).map(|i| (i as f64).powf(-gamma)).collect();
+                let mut w: Vec<f64> = (1..=k).map(|i| (i as f64).powf(-gamma)).collect();
                 let sum: f64 = w.iter().sum();
                 for x in w.iter_mut() {
                     *x /= sum;

@@ -53,7 +53,9 @@ impl PartialOrd for Departure {
 
 impl Ord for Departure {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.time.cmp(&other.time).then(self.server.cmp(&other.server))
+        self.time
+            .cmp(&other.time)
+            .then(self.server.cmp(&other.server))
     }
 }
 
@@ -67,7 +69,11 @@ mod tests {
     fn time_ordering() {
         assert!(OrderedTime::new(1.0) < OrderedTime::new(2.0));
         assert_eq!(OrderedTime::new(3.0), OrderedTime::new(3.0));
-        let mut v = [OrderedTime::new(2.0), OrderedTime::new(0.5), OrderedTime::new(1.0)];
+        let mut v = [
+            OrderedTime::new(2.0),
+            OrderedTime::new(0.5),
+            OrderedTime::new(1.0),
+        ];
         v.sort();
         assert_eq!(v[0].0, 0.5);
         assert_eq!(v[2].0, 2.0);
@@ -82,8 +88,8 @@ mod tests {
                 server: s,
             }));
         }
-        let order: Vec<u32> = std::iter::from_fn(|| heap.pop().map(|Reverse(d)| d.server))
-            .collect();
+        let order: Vec<u32> =
+            std::iter::from_fn(|| heap.pop().map(|Reverse(d)| d.server)).collect();
         assert_eq!(order, vec![2, 0, 1]);
     }
 

@@ -100,11 +100,11 @@ where
     let mut hops_sum = 0.0f64;
 
     let accumulate = |t: f64,
-                          last: &mut f64,
-                          counts: &[u32],
-                          lens: &[u32],
-                          integral: &mut [f64],
-                          queue_area: &mut f64| {
+                      last: &mut f64,
+                      counts: &[u32],
+                      lens: &[u32],
+                      integral: &mut [f64],
+                      queue_area: &mut f64| {
         if t > cfg.warmup {
             let from = last.max(cfg.warmup);
             let dt = t - from;
@@ -185,10 +185,7 @@ where
     }
 
     let window = cfg.horizon - cfg.warmup;
-    let tail: Vec<f64> = integral
-        .iter()
-        .map(|&a| a / (window * n as f64))
-        .collect();
+    let tail: Vec<f64> = integral.iter().map(|&a| a / (window * n as f64)).collect();
     QueueReport {
         max_queue,
         mean_queue: queue_area / (window * n as f64),
@@ -315,7 +312,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let mut strat = ProximityChoice::two_choice(Some(2));
         let rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
-        assert!(rep.comm_cost <= 2.0, "cost {} exceeds radius", rep.comm_cost);
+        assert!(
+            rep.comm_cost <= 2.0,
+            "cost {} exceeds radius",
+            rep.comm_cost
+        );
         assert!(rep.comm_cost > 0.0);
     }
 

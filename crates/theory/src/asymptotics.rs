@@ -99,7 +99,10 @@ mod tests {
         for n in [1e4, 1e8, 1e16, 1e32, 1e64, 1e128] {
             assert!(two_choice_max_load(n) < one_choice_max_load(n));
             let ratio = one_choice_max_load(n) / two_choice_max_load(n);
-            assert!(ratio > prev_ratio, "ratio must grow: {ratio} !> {prev_ratio}");
+            assert!(
+                ratio > prev_ratio,
+                "ratio must grow: {ratio} !> {prev_ratio}"
+            );
             prev_ratio = ratio;
         }
         assert!(prev_ratio > 3.0);
@@ -137,7 +140,7 @@ mod tests {
         let n = 1e6;
         assert!(theorem4_condition_met(n, 0.4, 0.55)); // 1.5 ≥ 1.38
         assert!(!theorem4_condition_met(n, 0.1, 0.2)); // 0.5 < 1
-        // Exactly 1 is not enough at finite n (needs the 2 loglog/log slack).
+                                                       // Exactly 1 is not enough at finite n (needs the 2 loglog/log slack).
         assert!(!theorem4_condition_met(n, 0.4, 0.3));
     }
 

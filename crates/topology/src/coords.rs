@@ -104,7 +104,9 @@ mod tests {
     fn residues_within_counts_match_bruteforce() {
         for side in 1..=12u32 {
             for b in 0..=side {
-                let brute = (0..side).filter(|&p| wrapped_delta(0, p, side) <= b).count();
+                let brute = (0..side)
+                    .filter(|&p| wrapped_delta(0, p, side) <= b)
+                    .count();
                 assert_eq!(
                     residues_within(b, side) as usize,
                     brute,
@@ -118,7 +120,9 @@ mod tests {
     fn residues_at_counts_match_bruteforce() {
         for side in 1..=12u32 {
             for t in 0..=side {
-                let brute = (0..side).filter(|&p| wrapped_delta(0, p, side) == t).count();
+                let brute = (0..side)
+                    .filter(|&p| wrapped_delta(0, p, side) == t)
+                    .count();
                 assert_eq!(residues_at(t, side) as usize, brute, "side={side} t={t}");
             }
         }

@@ -240,8 +240,7 @@ mod tests {
                 let mut got = Vec::new();
                 g.for_each_at_distance(u, d, |v| got.push(v));
                 got.sort_unstable();
-                let expect: Vec<NodeId> =
-                    (0..g.n()).filter(|&v| g.dist(u, v) == d).collect();
+                let expect: Vec<NodeId> = (0..g.n()).filter(|&v| g.dist(u, v) == d).collect();
                 assert_eq!(got, expect, "u={u} d={d}");
             }
         }
@@ -252,8 +251,7 @@ mod tests {
         let g = Grid::new(8);
         let mut rng = SmallRng::seed_from_u64(5);
         let corner = 0;
-        let ball: std::collections::HashSet<NodeId> =
-            g.ball_nodes(corner, 3).into_iter().collect();
+        let ball: std::collections::HashSet<NodeId> = g.ball_nodes(corner, 3).into_iter().collect();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..3000 {
             let v = g.sample_in_ball(corner, 3, &mut rng);

@@ -78,8 +78,9 @@ pub fn random_regular_graph<R: Rng + ?Sized>(n: u32, d: u32, rng: &mut R) -> Csr
     }
 
     let stubs_len = (n as usize) * (d as usize);
-    let mut stubs: Vec<u32> =
-        (0..n).flat_map(|v| std::iter::repeat_n(v, d as usize)).collect();
+    let mut stubs: Vec<u32> = (0..n)
+        .flat_map(|v| std::iter::repeat_n(v, d as usize))
+        .collect();
     debug_assert_eq!(stubs.len(), stubs_len);
 
     const MAX_RESTARTS: usize = 200;

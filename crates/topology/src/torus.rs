@@ -122,8 +122,7 @@ impl Torus {
         let mut total = 0u64;
         for w in 0..=r.min(half) {
             let budget = r - w;
-            total += residues_at(w, self.side) as u64
-                * residues_within(budget, self.side) as u64;
+            total += residues_at(w, self.side) as u64 * residues_within(budget, self.side) as u64;
         }
         total
     }
@@ -348,7 +347,11 @@ mod tests {
                     got.sort_unstable();
                     let expect = brute_ball(&t, u, r);
                     assert_eq!(got, expect, "side={side} u={u} r={r}");
-                    assert_eq!(t.ball_size(r), expect.len() as u64, "size side={side} r={r}");
+                    assert_eq!(
+                        t.ball_size(r),
+                        expect.len() as u64,
+                        "size side={side} r={r}"
+                    );
                 }
             }
         }
@@ -427,8 +430,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(42);
         for r in [0u32, 1, 2, 4, 5, 8, 20] {
             let u = 40;
-            let ball: std::collections::HashSet<NodeId> =
-                t.ball_nodes(u, r).into_iter().collect();
+            let ball: std::collections::HashSet<NodeId> = t.ball_nodes(u, r).into_iter().collect();
             let mut seen = std::collections::HashSet::new();
             for _ in 0..2000 {
                 let v = t.sample_in_ball(u, r, &mut rng);
@@ -449,7 +451,9 @@ mod tests {
         let trials = 50_000usize;
         let mut counts = std::collections::HashMap::new();
         for _ in 0..trials {
-            *counts.entry(t.sample_in_ball(u, r, &mut rng)).or_insert(0usize) += 1;
+            *counts
+                .entry(t.sample_in_ball(u, r, &mut rng))
+                .or_insert(0usize) += 1;
         }
         let expect = trials as f64 / ball.len() as f64;
         for v in ball {

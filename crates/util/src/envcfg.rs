@@ -121,9 +121,7 @@ impl EnvCfg {
 mod tests {
     use super::*;
 
-    fn lookup_from<'a>(
-        pairs: &'a [(&'a str, &'a str)],
-    ) -> impl Fn(&str) -> Option<String> + 'a {
+    fn lookup_from<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
         move |k| {
             pairs
                 .iter()

@@ -31,7 +31,10 @@ pub fn fit_line(points: &[(f64, f64)]) -> Option<LineFit> {
     if n < 2 {
         return None;
     }
-    if points.iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
+    if points
+        .iter()
+        .any(|&(x, y)| !x.is_finite() || !y.is_finite())
+    {
         return None;
     }
     let nf = n as f64;
@@ -169,7 +172,14 @@ mod tests {
 
     #[test]
     fn loglog_skips_nonpositive_points() {
-        let pts = [(0.0, 1.0), (-1.0, 2.0), (1.0, 0.0), (2.0, 4.0), (4.0, 16.0), (8.0, 64.0)];
+        let pts = [
+            (0.0, 1.0),
+            (-1.0, 2.0),
+            (1.0, 0.0),
+            (2.0, 4.0),
+            (4.0, 16.0),
+            (8.0, 64.0),
+        ];
         let fit = fit_loglog(&pts).unwrap();
         assert_eq!(fit.n, 3);
         assert!((fit.slope - 2.0).abs() < 1e-9);

@@ -1,0 +1,61 @@
+//! # paba-workload — pluggable workload generation & trace replay
+//!
+//! The paper's delivery phase fixes one workload: uniform origins, IID
+//! popularity draws, one request per ball. Production cache networks see
+//! richer streams — flash crowds, skewed client geography, popularity
+//! drift — and related systems (DistCache's adversarially-skewed and
+//! time-varying keys; Panigrahy et al.'s heterogeneous request rates) are
+//! evaluated exactly there. This crate turns the hard-coded request loop
+//! into a pluggable architecture on top of
+//! [`paba_core::RequestSource`]:
+//!
+//! * **Sources** — [`HotspotOrigins`] and [`ZipfOrigins`] (clustered /
+//!   rank-skewed client geography), [`FlashCrowd`] (a file's popularity
+//!   spikes for a window then decays), [`ShiftingPopularity`] (the
+//!   rank→file mapping rotates every epoch), plus the re-exported
+//!   [`IidUniform`] paper baseline — all driving
+//!   [`paba_core::simulate_source`] unchanged.
+//! * **Traces** — any stream can be recorded ([`TraceRecorder`],
+//!   [`TraceWriter`]) into a binary or CSV file and replayed
+//!   deterministically ([`TraceReplay`]), making a workload a portable
+//!   artifact every strategy can be compared against.
+//! * **Specs** — [`WorkloadSpec`] is the plain-data form the CLI, sweep
+//!   drivers, and benches use to pick a workload at runtime;
+//!   [`WorkloadSource`] is the matching monomorphic dispatch enum.
+//!
+//! ```
+//! use paba_core::prelude::*;
+//! use paba_core::simulate_source;
+//! use paba_workload::{FlashCrowd, TraceRecorder, TraceReplay};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let net = CacheNetwork::builder()
+//!     .torus_side(10)
+//!     .library(50, Popularity::zipf(0.8))
+//!     .cache_size(4)
+//!     .build(&mut rng);
+//!
+//! // Flash crowd on file 3, recorded while it drives Strategy II…
+//! let mut source = TraceRecorder::new(FlashCrowd::new(3, 20, 60, 50.0, 10.0));
+//! let mut strat = ProximityChoice::two_choice(Some(4));
+//! let rep = simulate_source(&net, &mut strat, &mut source, 100, &mut rng);
+//! assert_eq!(rep.total_requests, 100);
+//!
+//! // …then replayed bit-identically against Strategy I.
+//! let mut replay = TraceReplay::new(source.into_trace(&net));
+//! let mut nearest = NearestReplica::new();
+//! let rep2 = simulate_source(&net, &mut nearest, &mut replay, 100, &mut rng);
+//! assert_eq!(rep2.total_requests, 100);
+//! ```
+
+pub mod sources;
+pub mod spec;
+pub mod trace;
+
+pub use sources::{FlashCrowd, HotspotOrigins, ShiftingPopularity, ZipfOrigins};
+pub use spec::{WorkloadSource, WorkloadSpec};
+pub use trace::{Trace, TraceRecorder, TraceReplay, TraceWriter};
+
+// Re-export the trait and baseline so downstream users need one import.
+pub use paba_core::{IidUniform, RequestSource};

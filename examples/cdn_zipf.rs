@@ -37,9 +37,10 @@ fn main() {
         let mut l2 = 0.0;
         let mut c2 = 0.0;
         for run in 0..runs {
-            let mut rng = rand::rngs::SmallRng::seed_from_u64(
-                paba::util::mix_seed(777 + run, (gamma * 1000.0) as u64),
-            );
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(paba::util::mix_seed(
+                777 + run,
+                (gamma * 1000.0) as u64,
+            ));
             let net = CacheNetwork::builder()
                 .torus_side(side)
                 .library(k, pop.clone())

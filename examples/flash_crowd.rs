@@ -1,0 +1,89 @@
+//! Flash crowd: one file goes viral, how do the strategies cope?
+//!
+//! A `FlashCrowd` source boosts one file's popularity by a factor `b`
+//! over the whole run. Strategy I (nearest replica) funnels every hot
+//! request to the closest of the file's few replicas, so its maximum
+//! load explodes linearly with the boost; Strategy II (proximity-aware
+//! two-choice) spreads the spike across the hot file's replica set and
+//! degrades gracefully.
+//!
+//! Both strategies serve the *same* recorded request stream per run
+//! (record once with `TraceRecorder`, replay via `TraceReplay`), so the
+//! comparison isolates the routing policy from workload noise.
+//!
+//! ```text
+//! cargo run --release --example flash_crowd
+//! ```
+
+use paba::prelude::*;
+use paba::util::Table;
+use paba::workload::{FlashCrowd, TraceRecorder, TraceReplay};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (side, k, m) = (30u32, 200u32, 4u32);
+    let runs = 10u64;
+    let boosts = [1.0f64, 10.0, 50.0, 200.0];
+    let hot_file = 0u32;
+
+    println!(
+        "Flash crowd on a {side}x{side} torus, K = {k} files (Zipf 0.8), M = {m} slots, \
+         {runs} runs/boost.\nFile {hot_file} is boosted for the entire run; both strategies \
+         replay the identical stream.\n"
+    );
+
+    let mut table = Table::new([
+        "boost",
+        "hot share",
+        "Strategy I L",
+        "Strategy II r=8 L",
+        "II/I",
+    ]);
+    for &boost in &boosts {
+        let mut l1 = 0.0;
+        let mut l2 = 0.0;
+        let mut hot = 0.0;
+        for run in 0..runs {
+            let mut rng = SmallRng::seed_from_u64(paba::util::mix_seed(2026 + run, boost as u64));
+            let net = CacheNetwork::builder()
+                .torus_side(side)
+                .library(k, Popularity::zipf(0.8))
+                .cache_size(m)
+                .build(&mut rng);
+            let requests = net.n() as u64;
+
+            // Record the flash-crowd stream while Strategy I serves it…
+            let mut rec = TraceRecorder::new(FlashCrowd::new(hot_file, 0, requests, boost, 0.0));
+            let mut nearest = NearestReplica::new();
+            let r1 = simulate_source(&net, &mut nearest, &mut rec, requests, &mut rng);
+            let trace = rec.into_trace(&net);
+            hot += trace.records.iter().filter(|r| r.file == hot_file).count() as f64
+                / requests as f64
+                / runs as f64;
+
+            // …then replay the exact same requests through Strategy II.
+            let mut replay = TraceReplay::new(trace);
+            let mut two = ProximityChoice::two_choice(Some(8));
+            let r2 = simulate_source(&net, &mut two, &mut replay, requests, &mut rng);
+
+            l1 += r1.max_load() as f64 / runs as f64;
+            l2 += r2.max_load() as f64 / runs as f64;
+        }
+        table.push_row([
+            format!("{boost:.0}x"),
+            format!("{:.1}%", 100.0 * hot),
+            format!("{l1:.1}"),
+            format!("{l2:.1}"),
+            format!("{:.2}", l2 / l1),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+
+    println!(
+        "\nReading: as the crowd intensifies, Strategy I's max load tracks the hot file's \
+         request share\n(every hot request lands on the nearest replica), while proximity-aware \
+         two-choice keeps the\nspike spread over the replica set — the balanced-allocations \
+         pitch under stress."
+    );
+}

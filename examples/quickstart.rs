@@ -44,12 +44,24 @@ fn main() {
     let rep3 = simulate(&net, &mut unbounded, net.n() as u64, &mut rng);
 
     println!("after n = {} requests:", net.n());
-    println!("  {:<34} max load L = {:>2}   comm cost C = {:>6.2} hops",
-        "Strategy I  (nearest replica):", rep1.max_load(), rep1.comm_cost());
-    println!("  {:<34} max load L = {:>2}   comm cost C = {:>6.2} hops",
-        "Strategy II (2 choices, r = 8):", rep2.max_load(), rep2.comm_cost());
-    println!("  {:<34} max load L = {:>2}   comm cost C = {:>6.2} hops",
-        "Strategy II (2 choices, r = inf):", rep3.max_load(), rep3.comm_cost());
+    println!(
+        "  {:<34} max load L = {:>2}   comm cost C = {:>6.2} hops",
+        "Strategy I  (nearest replica):",
+        rep1.max_load(),
+        rep1.comm_cost()
+    );
+    println!(
+        "  {:<34} max load L = {:>2}   comm cost C = {:>6.2} hops",
+        "Strategy II (2 choices, r = 8):",
+        rep2.max_load(),
+        rep2.comm_cost()
+    );
+    println!(
+        "  {:<34} max load L = {:>2}   comm cost C = {:>6.2} hops",
+        "Strategy II (2 choices, r = inf):",
+        rep3.max_load(),
+        rep3.comm_cost()
+    );
 
     println!(
         "\nThe paper's trade-off in one run: Strategy II cuts the maximum load \

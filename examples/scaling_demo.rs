@@ -29,10 +29,8 @@ fn main() {
         let mut l1 = 0.0;
         let mut l2 = 0.0;
         for run in 0..runs {
-            let mut rng = rand::rngs::SmallRng::seed_from_u64(paba::util::mix_seed(
-                run,
-                side as u64,
-            ));
+            let mut rng =
+                rand::rngs::SmallRng::seed_from_u64(paba::util::mix_seed(run, side as u64));
             let net = CacheNetwork::builder()
                 .torus_side(side)
                 .library(n, Popularity::Uniform)

@@ -13,13 +13,7 @@
 use paba::prelude::*;
 use rand::SeedableRng;
 
-fn average_run(
-    side: u32,
-    k: u32,
-    m: u32,
-    radius: Option<u32>,
-    runs: u64,
-) -> (f64, f64) {
+fn average_run(side: u32, k: u32, m: u32, radius: Option<u32>, runs: u64) -> (f64, f64) {
     let mut l = 0.0;
     let mut c = 0.0;
     for run in 0..runs {
@@ -51,7 +45,10 @@ fn main() {
     let (l_inf, c_inf) = average_run(side, k, m, None, runs);
     println!("unconstrained optimum (r = inf): L = {l_inf:.2}, C = {c_inf:.2} hops\n");
 
-    println!("{:>4} | {:>9} | {:>10} | within 10% of optimum?", "r", "max load", "cost/hops");
+    println!(
+        "{:>4} | {:>9} | {:>10} | within 10% of optimum?",
+        "r", "max load", "cost/hops"
+    );
     println!("{}", "-".repeat(55));
     let mut best: Option<(u32, f64, f64)> = None;
     for r in [1u32, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20] {

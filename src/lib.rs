@@ -25,6 +25,7 @@
 //! | [`theory`] | `paba-theory` | the paper's closed-form predictions |
 //! | [`mcrunner`] | `paba-mcrunner` | deterministic parallel Monte-Carlo driver |
 //! | [`supermarket`] | `paba-supermarket` | continuous-time queueing extension (§VI) |
+//! | [`workload`] | `paba-workload` | pluggable request sources, trace record/replay |
 //!
 //! ## Quickstart
 //!
@@ -66,6 +67,7 @@ pub use paba_supermarket as supermarket;
 pub use paba_theory as theory;
 pub use paba_topology as topology;
 pub use paba_util as util;
+pub use paba_workload as workload;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {

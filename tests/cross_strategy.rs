@@ -68,8 +68,18 @@ fn nearest_has_minimal_cost() {
     let near = average(16, |s| run_strategy(s, 20, 100, 4, "nearest", None));
     let two_r = average(16, |s| run_strategy(500 + s, 20, 100, 4, "two", Some(4)));
     let two_inf = average(16, |s| run_strategy(900 + s, 20, 100, 4, "two", None));
-    assert!(near.cost <= two_r.cost + 0.05, "{} vs {}", near.cost, two_r.cost);
-    assert!(two_r.cost < two_inf.cost, "{} vs {}", two_r.cost, two_inf.cost);
+    assert!(
+        near.cost <= two_r.cost + 0.05,
+        "{} vs {}",
+        near.cost,
+        two_r.cost
+    );
+    assert!(
+        two_r.cost < two_inf.cost,
+        "{} vs {}",
+        two_r.cost,
+        two_inf.cost
+    );
 }
 
 #[test]

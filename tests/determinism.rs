@@ -4,6 +4,7 @@
 
 use paba::mcrunner;
 use paba::prelude::*;
+use paba::workload::{Trace, TraceRecorder, TraceReplay, WorkloadSpec};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -74,6 +75,109 @@ fn pinned_golden_values() {
     let rerun = one_run(20170529);
     assert_eq!(snapshot, (rerun.0, (rerun.1 * 1e6).round() / 1e6));
     assert_eq!(loads, rerun.2);
+}
+
+/// Every synthetic workload survives a record → save → load → replay
+/// round trip: the reloaded stream is bit-identical to the recorded one
+/// (both on-disk formats), and serving it under a fixed strategy seed
+/// reproduces the exact `SimReport` of the in-memory stream.
+#[test]
+fn trace_round_trip_reproduces_stream_and_report_for_every_source() {
+    let mut net_rng = SmallRng::seed_from_u64(31);
+    let net = CacheNetwork::builder()
+        .torus_side(8)
+        .library(30, Popularity::zipf(0.8))
+        .cache_size(3)
+        .build(&mut net_rng);
+    let specs = [
+        WorkloadSpec::Iid,
+        WorkloadSpec::Hotspot {
+            hotspots: 3,
+            radius: 2,
+            fraction: 0.8,
+            seed: 5,
+        },
+        WorkloadSpec::ZipfOrigins { gamma: 1.1 },
+        WorkloadSpec::FlashCrowd {
+            file: 2,
+            start: 20,
+            duration: 100,
+            boost: 40.0,
+            tau: 15.0,
+        },
+        WorkloadSpec::Shifting { epoch: 50, step: 2 },
+    ];
+    let dir = std::env::temp_dir().join("paba_determinism_traces");
+    std::fs::create_dir_all(&dir).unwrap();
+    let requests = 400u64;
+    for spec in specs {
+        // Generate + record the stream with a dedicated generator RNG.
+        let mut gen_rng = SmallRng::seed_from_u64(1234);
+        let mut rec = TraceRecorder::new(
+            spec.build(&net, UncachedPolicy::ResampleFile)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name())),
+        );
+        for _ in 0..requests {
+            use paba::core::RequestSource;
+            rec.next_request(&net, &mut gen_rng);
+        }
+        let trace = rec.into_trace(&net);
+        assert_eq!(trace.len(), requests, "{}", spec.name());
+
+        // Reference report: serve the in-memory stream with a fixed
+        // strategy seed (the stream is frozen, so the report is a pure
+        // function of that seed).
+        let serve = |t: Trace| {
+            let mut replay = TraceReplay::new(t);
+            replay.check_compat(&net).unwrap();
+            let mut s = ProximityChoice::two_choice(Some(4));
+            let mut rng = SmallRng::seed_from_u64(4321);
+            paba::core::simulate_source(&net, &mut s, &mut replay, requests, &mut rng)
+        };
+        let reference = serve(trace.clone());
+
+        // Round trip through both on-disk formats: identical stream,
+        // identical report.
+        for ext in ["trace", "csv"] {
+            let path = dir.join(format!("{}.{ext}", spec.name()));
+            trace.save(&path).unwrap();
+            let loaded = Trace::load(&path).unwrap();
+            assert_eq!(trace, loaded, "{} round trip via .{ext}", spec.name());
+            assert_eq!(
+                reference,
+                serve(loaded),
+                "{} report via .{ext}",
+                spec.name()
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+/// Replaying the same trace with the same strategy seed is exactly
+/// reproducible even for a randomized strategy: the stream is frozen, so
+/// the report depends only on the strategy RNG.
+#[test]
+fn randomized_strategy_on_replay_is_seed_stable() {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let net = CacheNetwork::builder()
+        .torus_side(8)
+        .library(30, Popularity::zipf(0.8))
+        .cache_size(3)
+        .build(&mut rng);
+    let mut rec = TraceRecorder::new(IidUniform::new());
+    let mut warm = NearestReplica::new();
+    paba::core::simulate_source(&net, &mut warm, &mut rec, 300, &mut rng);
+    let trace = rec.into_trace(&net);
+
+    let run = |seed: u64| {
+        let mut replay = TraceReplay::new(trace.clone());
+        let mut s = ProximityChoice::two_choice(Some(4));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        paba::core::simulate_source(&net, &mut s, &mut replay, 300, &mut rng)
+    };
+    assert_eq!(run(42), run(42));
+    assert_eq!(run(42).total_requests, 300);
 }
 
 #[test]

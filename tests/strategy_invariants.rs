@@ -1,12 +1,20 @@
 //! Property-based integration tests: strategy invariants across randomized
-//! networks (proptest-driven, spanning paba-core / topology / popularity).
+//! networks (spanning paba-core / topology / popularity).
+//!
+//! Implemented as seeded randomized sweeps (no external property framework
+//! is available in this build environment); every invariant and parameter
+//! range mirrors the original proptest suite.
 
-use paba::prelude::*;
-use paba::core::{PairMode, RadiusFallback, Request, Strategy};
 use paba::core::metrics::FallbackKind;
-use proptest::prelude::*;
+use paba::core::{PairMode, RadiusFallback, Request, Strategy};
+use paba::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic case generator: `n` seeded RNGs, one per property case.
+fn cases(seed: u64, n: usize) -> impl Iterator<Item = SmallRng> {
+    (0..n).map(move |i| SmallRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9)))
+}
 
 /// Strategy-agnostic invariant checks over one simulated delivery phase.
 fn check_invariants<S: Strategy<Torus>>(
@@ -42,16 +50,13 @@ fn check_invariants<S: Strategy<Torus>>(
     assert_eq!(loads.iter().map(|&l| l as u64).sum::<u64>(), 200);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn nearest_replica_invariants(
-        side in 4u32..12,
-        k in 1u32..60,
-        m in 1u32..8,
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn nearest_replica_invariants() {
+    for mut case in cases(0xA1, 24) {
+        let side = case.gen_range(4u32..12);
+        let k = case.gen_range(1u32..60);
+        let m = case.gen_range(1u32..8);
+        let seed = case.gen_range(0u64..1_000);
         let mut rng = SmallRng::seed_from_u64(seed);
         let net = CacheNetwork::builder()
             .torus_side(side)
@@ -61,16 +66,17 @@ proptest! {
         let mut s = NearestReplica::new();
         check_invariants(&net, &mut s, None, seed ^ 0xdead);
     }
+}
 
-    #[test]
-    fn proximity_choice_invariants(
-        side in 4u32..12,
-        k in 1u32..60,
-        m in 1u32..8,
-        radius in 0u32..10,
-        d in 1u32..5,
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn proximity_choice_invariants() {
+    for mut case in cases(0xA2, 24) {
+        let side = case.gen_range(4u32..12);
+        let k = case.gen_range(1u32..60);
+        let m = case.gen_range(1u32..8);
+        let radius = case.gen_range(0u32..10);
+        let d = case.gen_range(1u32..5);
+        let seed = case.gen_range(0u64..1_000);
         let mut rng = SmallRng::seed_from_u64(seed);
         let net = CacheNetwork::builder()
             .torus_side(side)
@@ -80,32 +86,33 @@ proptest! {
         let mut s = ProximityChoice::with_choices(Some(radius), d);
         check_invariants(&net, &mut s, Some(radius), seed ^ 0xbeef);
     }
+}
 
-    #[test]
-    fn proximity_unbounded_invariants(
-        side in 4u32..12,
-        k in 1u32..60,
-        m in 1u32..8,
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn proximity_unbounded_invariants() {
+    for mut case in cases(0xA3, 24) {
+        let side = case.gen_range(4u32..12);
+        let k = case.gen_range(1u32..60);
+        let m = case.gen_range(1u32..8);
+        let seed = case.gen_range(0u64..1_000);
         let mut rng = SmallRng::seed_from_u64(seed);
         let net = CacheNetwork::builder()
             .torus_side(side)
             .library(k, Popularity::zipf(0.8))
             .cache_size(m)
             .build(&mut rng);
-        let mut s = ProximityChoice::two_choice(None)
-            .pair_mode(PairMode::WithReplacement);
+        let mut s = ProximityChoice::two_choice(None).pair_mode(PairMode::WithReplacement);
         check_invariants(&net, &mut s, None, seed ^ 0xf00d);
     }
+}
 
-    #[test]
-    fn nearest_is_actually_nearest(
-        side in 4u32..10,
-        k in 1u32..40,
-        m in 1u32..6,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn nearest_is_actually_nearest() {
+    for mut case in cases(0xA4, 24) {
+        let side = case.gen_range(4u32..10);
+        let k = case.gen_range(1u32..40);
+        let m = case.gen_range(1u32..6);
+        let seed = case.gen_range(0u64..500);
         let mut rng = SmallRng::seed_from_u64(seed);
         let net = CacheNetwork::builder()
             .torus_side(side)
@@ -119,7 +126,7 @@ proptest! {
             let a = s.assign(&net, &loads, req, &mut rng);
             for v in 0..net.n() {
                 if net.placement().caches(v, req.file) {
-                    prop_assert!(
+                    assert!(
                         net.topo().dist(req.origin, v) >= a.hops,
                         "found closer replica {v}"
                     );
@@ -127,41 +134,43 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn serve_at_origin_fallback_never_travels(
-        side in 4u32..9,
-        seed in 0u64..500,
-    ) {
-        // Sparse placement + tiny radius + ServeAtOrigin: every declared
-        // empty-ball fallback must stay at the origin with 0 hops.
+#[test]
+fn serve_at_origin_fallback_never_travels() {
+    // Sparse placement + tiny radius + ServeAtOrigin: every declared
+    // empty-ball fallback must stay at the origin with 0 hops.
+    for mut case in cases(0xA5, 24) {
+        let side = case.gen_range(4u32..9);
+        let seed = case.gen_range(0u64..500);
         let mut rng = SmallRng::seed_from_u64(seed);
         let net = CacheNetwork::builder()
             .torus_side(side)
             .library(200, Popularity::Uniform)
             .cache_size(1)
             .build(&mut rng);
-        let mut s = ProximityChoice::two_choice(Some(1))
-            .radius_fallback(RadiusFallback::ServeAtOrigin);
+        let mut s =
+            ProximityChoice::two_choice(Some(1)).radius_fallback(RadiusFallback::ServeAtOrigin);
         let loads = vec![0u32; net.n() as usize];
         for _ in 0..100 {
             let req = Request::sample(&net, UncachedPolicy::ResampleFile, &mut rng);
             let a = s.assign(&net, &loads, req, &mut rng);
             if a.fallback == Some(FallbackKind::NoCandidateInBall) {
-                prop_assert_eq!(a.server, req.origin);
-                prop_assert_eq!(a.hops, 0);
+                assert_eq!(a.server, req.origin);
+                assert_eq!(a.hops, 0);
             }
         }
     }
+}
 
-    #[test]
-    fn simulation_conserves_and_bounds(
-        side in 4u32..12,
-        k in 1u32..60,
-        m in 1u32..8,
-        requests in 0u64..800,
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn simulation_conserves_and_bounds() {
+    for mut case in cases(0xA6, 24) {
+        let side = case.gen_range(4u32..12);
+        let k = case.gen_range(1u32..60);
+        let m = case.gen_range(1u32..8);
+        let requests = case.gen_range(0u64..800);
+        let seed = case.gen_range(0u64..1_000);
         let mut rng = SmallRng::seed_from_u64(seed);
         let net = CacheNetwork::builder()
             .torus_side(side)
@@ -170,11 +179,11 @@ proptest! {
             .build(&mut rng);
         let mut s = ProximityChoice::two_choice(Some(3));
         let rep = simulate(&net, &mut s, requests, &mut rng);
-        prop_assert!(rep.check_conservation());
-        prop_assert_eq!(rep.total_requests, requests);
-        prop_assert!(rep.max_load() as u64 <= requests);
-        prop_assert!(rep.comm_cost() <= net.topo().diameter() as f64);
+        assert!(rep.check_conservation());
+        assert_eq!(rep.total_requests, requests);
+        assert!(rep.max_load() as u64 <= requests);
+        assert!(rep.comm_cost() <= net.topo().diameter() as f64);
         // The load histogram must count every server.
-        prop_assert_eq!(rep.load_histogram().total(), net.n() as u64);
+        assert_eq!(rep.load_histogram().total(), net.n() as u64);
     }
 }

@@ -28,7 +28,10 @@ fn uniform_cost_scales_like_sqrt_k_over_m() {
     let c_base = mean_cost_nearest(45, 200, 8, &Popularity::Uniform, 10);
     let c_4x = mean_cost_nearest(45, 800, 8, &Popularity::Uniform, 10);
     let ratio = c_4x / c_base;
-    assert!((1.7..=2.3).contains(&ratio), "√(K/M) scaling broken: {ratio:.2}");
+    assert!(
+        (1.7..=2.3).contains(&ratio),
+        "√(K/M) scaling broken: {ratio:.2}"
+    );
 }
 
 #[test]
@@ -127,7 +130,10 @@ fn kp_theorem5_bound_respected_by_graph_process() {
     }
     let bound = theory::kp_max_load_bound(n as f64, 128.0);
     if bound.is_finite() {
-        assert!((worst as f64) <= bound.max(6.0), "KP bound violated: {worst} > {bound:.1}");
+        assert!(
+            (worst as f64) <= bound.max(6.0),
+            "KP bound violated: {worst} > {bound:.1}"
+        );
     }
     assert!(worst >= 2, "suspiciously perfect balance");
 }

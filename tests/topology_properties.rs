@@ -1,45 +1,64 @@
 //! Property-based topology validation across the whole supported parameter
 //! space — metric axioms, ball/ring/brute-force agreement, and Voronoi
 //! consistency, on both the torus and the bounded grid.
+//!
+//! Implemented as seeded exhaustive-ish sweeps (no external property
+//! framework is available in this build environment); every property and
+//! parameter range mirrors the original proptest suite.
 
 use paba::core::VoronoiComputer;
 use paba::topology::{Grid, Torus};
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Deterministic case generator: `cases` draws from seeded ranges.
+fn cases(seed: u64, n: usize) -> impl Iterator<Item = SmallRng> {
+    (0..n).map(move |i| SmallRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9)))
+}
 
-    #[test]
-    fn torus_metric_axioms(side in 1u32..16, pts in prop::collection::vec(0u32..256, 3)) {
+#[test]
+fn torus_metric_axioms() {
+    for mut rng in cases(1, 48) {
+        let side = rng.gen_range(1u32..16);
         let t = Torus::new(side);
         let n = t.n();
-        let (a, b, c) = (pts[0] % n, pts[1] % n, pts[2] % n);
-        prop_assert_eq!(t.dist(a, a), 0);
-        prop_assert_eq!(t.dist(a, b), t.dist(b, a));
-        prop_assert!(t.dist(a, c) <= t.dist(a, b) + t.dist(b, c));
-        prop_assert!(t.dist(a, b) <= t.diameter());
+        let (a, b, c) = (
+            rng.gen_range(0..256u32) % n,
+            rng.gen_range(0..256u32) % n,
+            rng.gen_range(0..256u32) % n,
+        );
+        assert_eq!(t.dist(a, a), 0);
+        assert_eq!(t.dist(a, b), t.dist(b, a));
+        assert!(t.dist(a, c) <= t.dist(a, b) + t.dist(b, c));
+        assert!(t.dist(a, b) <= t.diameter());
         if a != b {
-            prop_assert!(t.dist(a, b) > 0);
+            assert!(t.dist(a, b) > 0);
         }
     }
+}
 
-    #[test]
-    fn torus_ball_is_exact(side in 1u32..12, u in 0u32..144, r in 0u32..30) {
+#[test]
+fn torus_ball_is_exact() {
+    for mut rng in cases(2, 48) {
+        let side = rng.gen_range(1u32..12);
         let t = Torus::new(side);
-        let u = u % t.n();
+        let u = rng.gen_range(0..144u32) % t.n();
+        let r = rng.gen_range(0u32..30);
         let mut got = t.ball_nodes(u, r);
         got.sort_unstable();
         let expect: Vec<u32> = (0..t.n()).filter(|&v| t.dist(u, v) <= r).collect();
-        prop_assert_eq!(&got, &expect);
-        prop_assert_eq!(t.ball_size(r), expect.len() as u64);
+        assert_eq!(got, expect, "side={side} u={u} r={r}");
+        assert_eq!(t.ball_size(r), expect.len() as u64);
     }
+}
 
-    #[test]
-    fn torus_ring_partitions_ball(side in 2u32..12, u in 0u32..144, r in 0u32..18) {
+#[test]
+fn torus_ring_partitions_ball() {
+    for mut rng in cases(3, 48) {
+        let side = rng.gen_range(2u32..12);
         let t = Torus::new(side);
-        let u = u % t.n();
+        let u = rng.gen_range(0..144u32) % t.n();
+        let r = rng.gen_range(0u32..18);
         // The ball is the disjoint union of rings 0..=r.
         let mut from_rings: Vec<u32> = Vec::new();
         for d in 0..=r {
@@ -48,60 +67,80 @@ proptest! {
         from_rings.sort_unstable();
         let mut ball = t.ball_nodes(u, r);
         ball.sort_unstable();
-        prop_assert_eq!(from_rings, ball);
+        assert_eq!(from_rings, ball, "side={side} u={u} r={r}");
     }
+}
 
-    #[test]
-    fn grid_ball_is_exact(side in 1u32..12, u in 0u32..144, r in 0u32..30) {
+#[test]
+fn grid_ball_is_exact() {
+    for mut rng in cases(4, 48) {
+        let side = rng.gen_range(1u32..12);
         let g = Grid::new(side);
-        let u = u % g.n();
+        let u = rng.gen_range(0..144u32) % g.n();
+        let r = rng.gen_range(0u32..30);
         let mut got = g.ball_nodes(u, r);
         got.sort_unstable();
         let expect: Vec<u32> = (0..g.n()).filter(|&v| g.dist(u, v) <= r).collect();
-        prop_assert_eq!(&got, &expect);
-        prop_assert_eq!(g.ball_size_at(u, r), expect.len() as u64);
+        assert_eq!(got, expect, "side={side} u={u} r={r}");
+        assert_eq!(g.ball_size_at(u, r), expect.len() as u64);
     }
+}
 
-    #[test]
-    fn grid_dominated_by_torus_distance(side in 2u32..12, a in 0u32..144, b in 0u32..144) {
-        // Wrapping can only shorten paths.
+#[test]
+fn grid_dominated_by_torus_distance() {
+    // Wrapping can only shorten paths.
+    for mut rng in cases(5, 48) {
+        let side = rng.gen_range(2u32..12);
         let g = Grid::new(side);
         let t = Torus::new(side);
-        let (a, b) = (a % g.n(), b % g.n());
-        prop_assert!(t.dist(a, b) <= g.dist(a, b));
+        let a = rng.gen_range(0..144u32) % g.n();
+        let b = rng.gen_range(0..144u32) % g.n();
+        assert!(t.dist(a, b) <= g.dist(a, b), "side={side} a={a} b={b}");
     }
+}
 
-    #[test]
-    fn ball_sampling_stays_inside(side in 2u32..12, u in 0u32..144, r in 0u32..20, seed in 0u64..1000) {
+#[test]
+fn ball_sampling_stays_inside() {
+    for mut rng in cases(6, 48) {
+        let side = rng.gen_range(2u32..12);
         let t = Torus::new(side);
-        let u = u % t.n();
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let u = rng.gen_range(0..144u32) % t.n();
+        let r = rng.gen_range(0u32..20);
+        let mut draw_rng = SmallRng::seed_from_u64(rng.gen_range(0u64..1000));
         for _ in 0..32 {
-            let v = t.sample_in_ball(u, r, &mut rng);
-            prop_assert!(t.dist(u, v) <= r);
+            let v = t.sample_in_ball(u, r, &mut draw_rng);
+            assert!(t.dist(u, v) <= r, "side={side} u={u} r={r} v={v}");
         }
     }
+}
 
-    #[test]
-    fn voronoi_owners_are_nearest(side in 2u32..10, srcs in prop::collection::vec(0u32..100, 1..6)) {
+#[test]
+fn voronoi_owners_are_nearest() {
+    for mut rng in cases(7, 48) {
+        let side = rng.gen_range(2u32..10);
         let t = Torus::new(side);
-        let sources: Vec<u32> = srcs.iter().map(|&s| s % t.n()).collect();
+        let n_src = rng.gen_range(1usize..6);
+        let sources: Vec<u32> = (0..n_src)
+            .map(|_| rng.gen_range(0..100u32) % t.n())
+            .collect();
         let mut vc = VoronoiComputer::new(t.n());
         let cells = vc.compute(&t, &sources);
         for v in 0..t.n() {
             let best = sources.iter().map(|&s| t.dist(s, v)).min().unwrap();
-            prop_assert_eq!(cells.dist[v as usize], best);
-            prop_assert_eq!(t.dist(cells.owner[v as usize], v), best);
+            assert_eq!(cells.dist[v as usize], best);
+            assert_eq!(t.dist(cells.owner[v as usize], v), best);
         }
         // Cells partition the torus.
         let total: u32 = cells.cell_sizes().values().sum();
-        prop_assert_eq!(total, t.n());
+        assert_eq!(total, t.n());
     }
+}
 
-    #[test]
-    fn ring_sizes_sum_to_n(side in 1u32..14) {
+#[test]
+fn ring_sizes_sum_to_n() {
+    for side in 1u32..14 {
         let t = Torus::new(side);
         let total: u64 = (0..=t.diameter()).map(|d| t.ring_size(d)).sum();
-        prop_assert_eq!(total, t.n() as u64);
+        assert_eq!(total, t.n() as u64);
     }
 }

@@ -1,0 +1,354 @@
+//! Minimal, dependency-free stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! exactly the surface it uses: the [`Rng`]/[`RngCore`]/[`SeedableRng`]
+//! traits, [`rngs::SmallRng`] (xoshiro256++ seeded via SplitMix64 — the
+//! same generator family `rand 0.8` uses for `SmallRng` on 64-bit
+//! targets), uniform `gen_range` over integer and float ranges, and
+//! [`seq::SliceRandom`] shuffling. Streams are deterministic per seed and
+//! statistically sound (Lemire widening-multiply range reduction; 53-bit
+//! mantissa floats), which is all the workspace's reproducibility and
+//! χ²-style tests require.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (high word of [`RngCore::next_u64`]).
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution
+    /// (`f64`/`f32`: uniform in `[0, 1)`; integers: uniform over the full
+    /// range; `bool`: fair coin).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// If the range is empty.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types constructible from raw random bits (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Highest bit: avoids any low-bit linearity a generator might have.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform dyadic rational in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as $u).wrapping_add(off as $u) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $u).wrapping_sub(start as $u) as u64 as u128 + 1;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                (start as $u).wrapping_add(off as $u) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                self.start + (self.end - self.start) * <$t as Standard>::sample_standard(rng)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                start + (end - start) * <$t as Standard>::sample_standard(rng)
+            }
+        }
+    )*};
+}
+impl_range_float!(f32, f64);
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic PRNG: xoshiro256++ (Blackman &
+    /// Vigna), seeded through SplitMix64 exactly like `rand 0.8`'s
+    /// 64-bit `SmallRng`.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state fill: guarantees a non-zero xoshiro state.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias for the default generator (same engine as [`SmallRng`] here).
+    pub type StdRng = SmallRng;
+}
+
+pub mod seq {
+    //! Slice sampling and shuffling.
+
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn xoshiro256pp_reference_vector() {
+        // First outputs of xoshiro256++ from the state {1, 2, 3, 4}
+        // (cross-checked against the public-domain C reference).
+        let mut g = SmallRng { s: [1, 2, 3, 4] };
+        use super::RngCore;
+        assert_eq!(g.next_u64(), 41943041);
+        assert_eq!(g.next_u64(), 58720359);
+        assert_eq!(g.next_u64(), 3588806011781223);
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut g = SmallRng::seed_from_u64(42);
+            (0..8).map(|_| g.gen::<u64>()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut g = SmallRng::seed_from_u64(42);
+            (0..8).map(|_| g.gen::<u64>()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut g = SmallRng::seed_from_u64(43);
+            (0..8).map(|_| g.gen::<u64>()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_bounds_and_uniformity() {
+        let mut g = SmallRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[g.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_400..=10_600).contains(&c), "{counts:?}");
+        }
+        for _ in 0..1000 {
+            let v = g.gen_range(-3..=3i64);
+            assert!((-3..=3).contains(&v));
+            let f = g.gen_range(2.0..5.0f64);
+            assert!((2.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_and_bools() {
+        let mut g = SmallRng::seed_from_u64(3);
+        let mut heads = 0u32;
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = g.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+            if g.gen::<bool>() {
+                heads += 1;
+            }
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+        assert!((4_500..=5_500).contains(&heads));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut g = SmallRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut g);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should not be identity");
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn takes_dynish<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.gen_range(0..1000u64)
+        }
+        let mut g = SmallRng::seed_from_u64(1);
+        assert!(takes_dynish(&mut g) < 1000);
+    }
+}
