@@ -1,0 +1,31 @@
+//! `bench throughput` — requests/sec of the assignment hot path across
+//! the regime grid (sparse/full placement, r ∈ {2, 5, 10, ∞}, uniform vs
+//! Zipf popularity), measured under both the hybrid sampler and the
+//! exact-scan baseline.
+//!
+//! Prints the standard table and writes `BENCH_throughput.json` at the
+//! workspace root so CI can archive the per-PR throughput trajectory.
+//! Knobs: `PABA_SCALE=quick|default|full`, `PABA_SEED`.
+
+use paba_bench::throughput;
+use paba_util::envcfg::EnvCfg;
+use std::path::PathBuf;
+
+fn main() {
+    let cfg = EnvCfg::from_env();
+    paba_bench::header(
+        "throughput: assign-loop requests/sec",
+        "the simulator's own hot path (not a paper figure)",
+        &cfg,
+        1,
+    );
+    let measurements = throughput::run_grid(cfg.scale, cfg.seed, 0);
+    paba_bench::emit("throughput", &throughput::to_table(&measurements));
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_throughput.json");
+    match throughput::write_json(&out, &measurements, cfg.seed, cfg.scale) {
+        Ok(()) => println!("(JSON: {})", out.display()),
+        Err(e) => eprintln!("failed to write BENCH_throughput.json: {e}"),
+    }
+}

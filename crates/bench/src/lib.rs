@@ -11,6 +11,8 @@
 //! Environment knobs (see [`paba_util::envcfg`]): `PABA_RUNS`,
 //! `PABA_SEED`, `PABA_SCALE=quick|default|full`.
 
+pub mod throughput;
+
 use paba_core::{
     simulate_source, CacheNetwork, NearestReplica, PlacementPolicy, ProximityChoice, UncachedPolicy,
 };

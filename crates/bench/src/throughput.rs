@@ -1,0 +1,390 @@
+//! Requests/sec throughput harness for the assignment hot path.
+//!
+//! Where the figure benches measure the *paper's* quantities (max load,
+//! communication cost), this harness measures the *simulator's* speed:
+//! wall-clock requests per second of the full assign loop (request
+//! sampling + candidate sampling + load update) across a grid of regimes —
+//! full vs sparse placement, finite and infinite radii, uniform and Zipf
+//! popularity, up to `n ≈ 10⁵` nodes. Every point is measured under both
+//! [`SamplerKind::Hybrid`] (the adaptive sampler) and
+//! [`SamplerKind::ExactScan`] (the pre-sampler per-request pool
+//! materialization), so the speedup is tracked per PR.
+//!
+//! Results are printed as a table and written to `BENCH_throughput.json`
+//! (schema below) so CI can archive the trajectory:
+//!
+//! ```json
+//! {
+//!   "schema": "paba-throughput/1",
+//!   "seed": 20170529,
+//!   "scale": "Quick",
+//!   "measurements": [
+//!     {
+//!       "label": "sparse-zipf1.2-r5", "n": 99856, "side": 316,
+//!       "k": 10000, "m": 20, "gamma": 1.2, "placement": "proportional",
+//!       "radius": 5, "sampler": "hybrid", "requests": 99856,
+//!       "elapsed_s": 0.04, "rps": 2500000.0, "max_load": 5,
+//!       "fallback_fraction": 0.28, "speedup_vs_exact": 4.5
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `radius` is `null` for `r = ∞`; `speedup_vs_exact` appears only on
+//! `"hybrid"` rows (hybrid rps ÷ exact-scan rps at the same point).
+
+use paba_core::{simulate, CacheNetwork, PlacementPolicy, ProximityChoice, SamplerKind};
+use paba_popularity::Popularity;
+use paba_util::envcfg::Scale;
+use paba_util::Table;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One regime of the throughput grid.
+#[derive(Clone, Debug)]
+pub struct ThroughputPoint {
+    /// Stable point label, e.g. `sparse-zipf1.2-r5`.
+    pub label: String,
+    /// Torus side (`n = side²`).
+    pub side: u32,
+    /// Library size `K`.
+    pub k: u32,
+    /// Cache size `M` (ignored under full placement).
+    pub m: u32,
+    /// Zipf exponent (`0` = uniform popularity).
+    pub gamma: f64,
+    /// Full-library placement instead of the sparse proportional one.
+    pub full: bool,
+    /// Proximity radius (`None` = `r = ∞`).
+    pub radius: Option<u32>,
+}
+
+impl ThroughputPoint {
+    fn popularity(&self) -> Popularity {
+        if self.gamma == 0.0 {
+            Popularity::Uniform
+        } else {
+            Popularity::zipf(self.gamma)
+        }
+    }
+
+    fn policy(&self) -> PlacementPolicy {
+        if self.full {
+            PlacementPolicy::FullLibrary
+        } else {
+            PlacementPolicy::ProportionalWithReplacement
+        }
+    }
+
+    fn placement_name(&self) -> &'static str {
+        if self.full {
+            "full"
+        } else {
+            "proportional"
+        }
+    }
+}
+
+/// One timed run of one point under one sampler.
+#[derive(Clone, Debug)]
+pub struct ThroughputMeasurement {
+    /// The regime measured.
+    pub point: ThroughputPoint,
+    /// Sampler label (`hybrid` / `exact-scan`).
+    pub sampler: &'static str,
+    /// Requests timed.
+    pub requests: u64,
+    /// Wall-clock seconds for the assign loop.
+    pub elapsed_s: f64,
+    /// Requests per second.
+    pub rps: f64,
+    /// Maximum load of the run (sanity echo, not a benchmark target).
+    pub max_load: u32,
+    /// Fraction of requests on any fallback path.
+    pub fallback_fraction: f64,
+    /// `hybrid` rows only: hybrid rps ÷ exact-scan rps at this point.
+    pub speedup_vs_exact: Option<f64>,
+}
+
+/// The regime grid at a given scale: full vs sparse placement,
+/// `r ∈ {2, 5, 10, ∞}`, uniform vs Zipf 0.8 / 1.2.
+pub fn regime_grid(scale: Scale) -> Vec<ThroughputPoint> {
+    let radii: &[Option<u32>] = &[Some(2), Some(5), Some(10), None];
+    let gammas: &[f64] = &[0.0, 0.8, 1.2];
+    // (side, K, M) per scale; the acceptance regime (n ≈ 10⁵, K = 10⁴,
+    // M = 20) is the Default/Full sparse tier.
+    let (sparse, full_side, full_k) = match scale {
+        Scale::Quick => ((50u32, 1_000u32, 10u32), 50u32, 50u32),
+        Scale::Default | Scale::Full => ((316, 10_000, 20), 100, 100),
+    };
+    let mut grid = Vec::new();
+    let (side, k, m) = sparse;
+    for &gamma in gammas {
+        for &radius in radii {
+            let pop = if gamma == 0.0 {
+                "uniform".to_string()
+            } else {
+                format!("zipf{gamma}")
+            };
+            let r = radius.map_or("inf".to_string(), |r| r.to_string());
+            grid.push(ThroughputPoint {
+                label: format!("sparse-{pop}-r{r}"),
+                side,
+                k,
+                m,
+                gamma,
+                full: false,
+                radius,
+            });
+        }
+    }
+    for &radius in radii {
+        let r = radius.map_or("inf".to_string(), |r| r.to_string());
+        grid.push(ThroughputPoint {
+            label: format!("full-uniform-r{r}"),
+            side: full_side,
+            k: full_k,
+            m: full_k,
+            gamma: 0.0,
+            full: true,
+            radius,
+        });
+    }
+    grid
+}
+
+/// Measure one point under both samplers (exact-scan first, then hybrid
+/// with its speedup attached). The network is built once per point —
+/// placement generation is *not* part of the timed loop — and each
+/// sampler is timed over `requests` assignments, best of `repeats`.
+pub fn measure_point(
+    point: &ThroughputPoint,
+    seed: u64,
+    requests: u64,
+    repeats: u32,
+) -> Vec<ThroughputMeasurement> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let net: CacheNetwork<paba_topology::Torus> = CacheNetwork::builder()
+        .torus_side(point.side)
+        .library(point.k, point.popularity())
+        .cache_size(point.m)
+        .placement_policy(point.policy())
+        .build(&mut rng);
+    let mut out = Vec::with_capacity(2);
+    let mut exact_rps = None;
+    for kind in [SamplerKind::ExactScan, SamplerKind::Hybrid] {
+        let mut best = f64::INFINITY;
+        let mut max_load = 0u32;
+        let mut fallback = 0.0f64;
+        for rep in 0..repeats.max(1) {
+            let mut strat = ProximityChoice::two_choice(point.radius).sampler(kind);
+            let mut run_rng = SmallRng::seed_from_u64(seed ^ (rep as u64 + 1));
+            let t0 = Instant::now();
+            let report = simulate(&net, &mut strat, requests, &mut run_rng);
+            let dt = t0.elapsed().as_secs_f64();
+            if dt < best {
+                best = dt;
+                max_load = report.max_load();
+                fallback = report.fallback_fraction();
+            }
+        }
+        let rps = requests as f64 / best;
+        let speedup_vs_exact = match kind {
+            SamplerKind::Hybrid => exact_rps.map(|e: f64| rps / e),
+            SamplerKind::ExactScan => {
+                exact_rps = Some(rps);
+                None
+            }
+        };
+        out.push(ThroughputMeasurement {
+            point: point.clone(),
+            sampler: kind.label(),
+            requests,
+            elapsed_s: best,
+            rps,
+            max_load,
+            fallback_fraction: fallback,
+            speedup_vs_exact,
+        });
+    }
+    out
+}
+
+/// Run the whole grid. `requests = 0` defaults to `n` per point (the
+/// paper's request count).
+pub fn run_grid(scale: Scale, seed: u64, requests: u64) -> Vec<ThroughputMeasurement> {
+    let repeats = match scale {
+        Scale::Quick => 1,
+        Scale::Default => 2,
+        Scale::Full => 4,
+    };
+    let mut all = Vec::new();
+    for point in regime_grid(scale) {
+        let n = point.side as u64 * point.side as u64;
+        let reqs = if requests == 0 { n } else { requests };
+        all.extend(measure_point(&point, seed, reqs, repeats));
+    }
+    all
+}
+
+/// Render the measurements as the standard bench table.
+pub fn to_table(ms: &[ThroughputMeasurement]) -> Table {
+    let mut t = Table::new([
+        "point", "n", "sampler", "requests", "req/s", "speedup", "max load", "fallback",
+    ]);
+    for m in ms {
+        t.push_row([
+            m.point.label.clone(),
+            format!("{}", m.point.side as u64 * m.point.side as u64),
+            m.sampler.to_string(),
+            format!("{}", m.requests),
+            format!("{:.0}", m.rps),
+            m.speedup_vs_exact
+                .map_or("-".into(), |s| format!("{s:.2}x")),
+            format!("{}", m.max_load),
+            format!("{:.4}", m.fallback_fraction),
+        ]);
+    }
+    t
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Serialize measurements to the `paba-throughput/1` JSON schema.
+/// Hand-rolled: every value is numeric, boolean, or an ASCII label the
+/// harness itself generated, so no escaping is needed.
+pub fn to_json(ms: &[ThroughputMeasurement], seed: u64, scale: Scale) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"paba-throughput/1\",\n");
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    s.push_str("  \"measurements\": [\n");
+    for (i, m) in ms.iter().enumerate() {
+        let radius = m.point.radius.map_or("null".to_string(), |r| r.to_string());
+        let speedup = m.speedup_vs_exact.map_or("null".to_string(), json_f64);
+        s.push_str(&format!(
+            "    {{\"label\": \"{}\", \"n\": {}, \"side\": {}, \"k\": {}, \"m\": {}, \
+             \"gamma\": {}, \"placement\": \"{}\", \"radius\": {}, \"sampler\": \"{}\", \
+             \"requests\": {}, \"elapsed_s\": {}, \"rps\": {}, \"max_load\": {}, \
+             \"fallback_fraction\": {}, \"speedup_vs_exact\": {}}}{}\n",
+            m.point.label,
+            m.point.side as u64 * m.point.side as u64,
+            m.point.side,
+            m.point.k,
+            m.point.m,
+            json_f64(m.point.gamma),
+            m.point.placement_name(),
+            radius,
+            m.sampler,
+            m.requests,
+            json_f64(m.elapsed_s),
+            json_f64(m.rps),
+            m.max_load,
+            json_f64(m.fallback_fraction),
+            speedup,
+            if i + 1 == ms.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Write the JSON report, creating parent directories as needed.
+pub fn write_json(
+    path: &std::path::Path,
+    ms: &[ThroughputMeasurement],
+    seed: u64,
+    scale: Scale,
+) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, to_json(ms, seed, scale))
+        .map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_shapes() {
+        let grid = regime_grid(Scale::Quick);
+        assert_eq!(grid.len(), 3 * 4 + 4); // 3 popularities × 4 radii + full
+        assert!(grid.iter().any(|p| p.full));
+        assert!(grid.iter().any(|p| p.radius.is_none()));
+        // Labels are unique.
+        let mut labels: Vec<&str> = grid.iter().map(|p| p.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), grid.len());
+    }
+
+    #[test]
+    fn default_grid_hits_the_acceptance_regime() {
+        let grid = regime_grid(Scale::Default);
+        for r in [5u32, 10] {
+            assert!(
+                grid.iter().any(|p| !p.full
+                    && p.side == 316
+                    && p.k == 10_000
+                    && p.m == 20
+                    && p.gamma == 1.2
+                    && p.radius == Some(r)),
+                "missing sparse zipf-1.2 r={r} point"
+            );
+        }
+    }
+
+    #[test]
+    fn measure_point_produces_both_samplers_and_speedup() {
+        let point = ThroughputPoint {
+            label: "test".into(),
+            side: 12,
+            k: 40,
+            m: 3,
+            gamma: 1.2,
+            full: false,
+            radius: Some(3),
+        };
+        let ms = measure_point(&point, 7, 2_000, 1);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].sampler, "exact-scan");
+        assert_eq!(ms[1].sampler, "hybrid");
+        assert!(ms.iter().all(|m| m.rps > 0.0 && m.elapsed_s > 0.0));
+        assert!(ms[0].speedup_vs_exact.is_none());
+        let s = ms[1].speedup_vs_exact.expect("hybrid row carries speedup");
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let point = ThroughputPoint {
+            label: "test".into(),
+            side: 8,
+            k: 10,
+            m: 2,
+            gamma: 0.0,
+            full: false,
+            radius: None,
+        };
+        let ms = measure_point(&point, 1, 500, 1);
+        let json = to_json(&ms, 1, Scale::Quick);
+        assert!(json.contains("\"schema\": \"paba-throughput/1\""));
+        assert!(json.contains("\"radius\": null"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n  ]"));
+    }
+}

@@ -24,6 +24,7 @@ USAGE:
   paba ballsbins [options]            run a classic balls-into-bins process
   paba workload generate [options]    generate a request trace file
   paba workload inspect [options]     summarize a request trace file
+  paba throughput [options]           measure assign-loop requests/sec
   paba help                           show this text
 
 SIMULATE OPTIONS (defaults in parentheses):
@@ -70,6 +71,13 @@ QUEUE OPTIONS:
   --lambda L        per-server arrival rate in (0,1) (0.8)
   --horizon T       simulated time (2000)
   --warmup T        measurement warm-up (500)
+
+THROUGHPUT OPTIONS:
+  --scale S         quick | default | full grid (PABA_SCALE or default)
+  --seed S          master seed (20170529)
+  --requests Q      requests per grid point (0 = n of the point)
+  --out PATH        JSON report path (BENCH_throughput.json; 'none' skips)
+  --csv             emit CSV instead of a table
 
 BALLSBINS OPTIONS:
   --process P       one | two | d | beta | batched (two)
@@ -456,6 +464,40 @@ pub fn ballsbins(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `paba throughput` — the requests/sec harness of `paba-bench`, exposed
+/// on the CLI so perf runs don't require a bench target invocation.
+pub fn throughput(a: &Args) -> Result<(), String> {
+    reject_action(a)?;
+    let unknown = a.unknown_keys(&["scale", "seed", "requests", "out", "csv"]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown option(s): {unknown:?} (see 'paba help')"));
+    }
+    let env_cfg = paba_util::envcfg::EnvCfg::from_env();
+    let scale = match a.get("scale") {
+        None => env_cfg.scale,
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("--scale: expected quick|default|full, got '{s}'"))?,
+    };
+    let seed: u64 = a.parse_or("seed", paba_util::envcfg::DEFAULT_SEED)?;
+    let requests: u64 = a.parse_or("requests", 0)?;
+    let out = a.str_or("out", "BENCH_throughput.json");
+
+    let measurements = paba_bench::throughput::run_grid(scale, seed, requests);
+    let table = paba_bench::throughput::to_table(&measurements);
+    if a.flag("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_markdown());
+    }
+    if out != "none" {
+        let path = std::path::PathBuf::from(&out);
+        paba_bench::throughput::write_json(&path, &measurements, seed, scale)?;
+        eprintln!("wrote {} measurements to {out}", measurements.len());
+    }
+    Ok(())
+}
+
 /// `paba workload <generate|inspect>`.
 pub fn workload(a: &Args) -> Result<(), String> {
     match a.action.as_deref() {
@@ -695,6 +737,28 @@ mod tests {
             .unwrap_err()
             .contains("exceeds the trace length"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn throughput_quick_runs_and_writes_json() {
+        let dir = std::env::temp_dir().join("paba_cli_throughput_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_throughput.json");
+        let a = args(&format!(
+            "throughput --scale quick --requests 400 --csv --out {}",
+            path.display()
+        ));
+        throughput(&a).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\": \"paba-throughput/1\""));
+        assert!(json.contains("\"sampler\": \"hybrid\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn throughput_rejects_bad_scale() {
+        let a = args("throughput --scale enormous --out none");
+        assert!(throughput(&a).unwrap_err().contains("enormous"));
     }
 
     #[test]

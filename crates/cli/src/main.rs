@@ -7,6 +7,7 @@
 //! paba ballsbins --process two --bins 4096 --balls 4096 --runs 20
 //! paba workload generate --workload hotspot --out hotspot.trace --requests 100000
 //! paba workload inspect --trace hotspot.trace
+//! paba throughput --scale quick --out BENCH_throughput.json
 //! paba help
 //! ```
 
@@ -30,6 +31,7 @@ fn main() {
         Some("queue") => commands::queue(&parsed),
         Some("ballsbins") => commands::ballsbins(&parsed),
         Some("workload") => commands::workload(&parsed),
+        Some("throughput") => commands::throughput(&parsed),
         Some("help") | None => {
             commands::print_help();
             Ok(())

@@ -64,7 +64,7 @@ pub use simulate::{
 pub use source::{IidUniform, RequestSource};
 pub use strategy::{
     Assignment, LeastLoadedInBall, NearestReplica, PairMode, ProximityChoice, RadiusFallback,
-    StaleLoad, Strategy,
+    SamplerKind, StaleLoad, Strategy,
 };
 pub use voronoi::{VoronoiCells, VoronoiComputer};
 

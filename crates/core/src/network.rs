@@ -193,9 +193,11 @@ impl CacheNetworkBuilder {
 
     /// Number of nodes; must be a perfect square.
     pub fn nodes(mut self, n: u32) -> Self {
-        let side = (n as f64).sqrt().round() as u32;
-        assert!(side * side == n, "n={n} is not a perfect square");
-        self.side = side;
+        // Compare in u64: near u32::MAX the rounded square root is 65536
+        // and `side * side` would wrap to 0 in u32 arithmetic.
+        let side = (n as f64).sqrt().round() as u64;
+        assert!(side * side == n as u64, "n={n} is not a perfect square");
+        self.side = side as u32;
         self
     }
 

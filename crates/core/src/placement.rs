@@ -47,9 +47,64 @@ enum Kind {
         node_files: Vec<FileId>,
         /// Per-file ascending node lists.
         replicas: Vec<Vec<NodeId>>,
+        /// Direct-indexed membership bitmaps for dense files.
+        dense: DenseIndex,
     },
     /// Every node caches every file; nothing is materialized.
     Full,
+}
+
+/// One-bit-per-node membership bitmaps for **dense** files (replica count
+/// `≥ n/16`), making the hot-path [`Placement::caches`] check a single
+/// word load instead of a binary search. Popularity-skewed workloads send
+/// the bulk of their requests to exactly these files, and the ball-side
+/// rejection sampler pays one membership check per trial.
+///
+/// At most `16M` files can qualify (their replica counts sum to `≤ nM`),
+/// so the index occupies at most `2nM` bits total.
+#[derive(Clone, Debug, Default)]
+struct DenseIndex {
+    /// Per-file offset into `words`, [`DenseIndex::NONE`] if not indexed.
+    offsets: Vec<u32>,
+    words: Vec<u64>,
+}
+
+impl DenseIndex {
+    const NONE: u32 = u32::MAX;
+
+    fn build(n: u32, replicas: &[Vec<NodeId>]) -> Self {
+        let words_per_file = n.div_ceil(64) as usize;
+        let mut offsets = vec![Self::NONE; replicas.len()];
+        let mut words: Vec<u64> = Vec::new();
+        for (f, reps) in replicas.iter().enumerate() {
+            if (reps.len() as u64) * 16 < n as u64 {
+                continue;
+            }
+            // Offsets are u32: stop indexing rather than overflow (only
+            // reachable near the u32 node-count ceiling with huge M).
+            let Ok(off) = u32::try_from(words.len()) else {
+                break;
+            };
+            offsets[f] = off;
+            words.resize(words.len() + words_per_file, 0u64);
+            let w = &mut words[off as usize..];
+            for &v in reps {
+                w[(v / 64) as usize] |= 1u64 << (v % 64);
+            }
+        }
+        Self { offsets, words }
+    }
+
+    /// `Some(cached?)` when file `f` is indexed, `None` otherwise.
+    #[inline]
+    fn contains(&self, f: FileId, u: NodeId) -> Option<bool> {
+        let off = self.offsets[f as usize];
+        if off == Self::NONE {
+            return None;
+        }
+        let w = self.words[off as usize + (u / 64) as usize];
+        Some((w >> (u % 64)) & 1 == 1)
+    }
 }
 
 impl Placement {
@@ -135,6 +190,7 @@ impl Placement {
             }
             node_offsets.push(node_files.len() as u64);
         }
+        let dense = DenseIndex::build(n, &replicas);
         Self {
             n,
             k,
@@ -144,6 +200,7 @@ impl Placement {
                 node_offsets,
                 node_files,
                 replicas,
+                dense,
             },
         }
     }
@@ -179,6 +236,7 @@ impl Placement {
             }
             node_offsets.push(node_files.len() as u64);
         }
+        let dense = DenseIndex::build(n, &replicas);
         Self {
             n,
             k,
@@ -188,6 +246,7 @@ impl Placement {
                 node_offsets,
                 node_files,
                 replicas,
+                dense,
             },
         }
     }
@@ -256,6 +315,21 @@ impl Placement {
         }
     }
 
+    /// The sorted (ascending) node list caching `f`, or `None` for the
+    /// implicit full placement (where it would be `0..n` for every file).
+    ///
+    /// Sortedness is what makes the list range-searchable: node ids are
+    /// row-major lattice coordinates, so "replicas inside a ball" is a
+    /// handful of contiguous sub-slices found by binary search (see
+    /// [`paba_topology::Topology::for_each_ball_id_range`]).
+    #[inline]
+    pub fn replica_list(&self, f: FileId) -> Option<&[NodeId]> {
+        match &self.kind {
+            Kind::Sparse { replicas, .. } => Some(&replicas[f as usize]),
+            Kind::Full => None,
+        }
+    }
+
     /// Visit each node caching `f`, in ascending node order.
     pub fn for_each_replica<F: FnMut(NodeId)>(&self, f: FileId, mut cb: F) {
         match &self.kind {
@@ -272,11 +346,35 @@ impl Placement {
         }
     }
 
-    /// Does node `u` cache file `f`? (O(log M) / O(1) for full.)
+    /// Does node `u` cache file `f`? (O(1) for full placements.)
+    ///
+    /// Binary-searches whichever index is shorter — `node_files(u)`
+    /// (length `t(u) ≤ M`) or `replicas[f]` (length `cnt(f)`, as low as 1
+    /// for tail files) — so the cost is `O(min(log t(u), log cnt(f)))`.
+    /// This is the membership primitive of the assignment hot path: the
+    /// ball-side rejection sampler calls it once per attempt.
     #[inline]
     pub fn caches(&self, u: NodeId, f: FileId) -> bool {
         match &self.kind {
-            Kind::Sparse { .. } => self.node_files(u).binary_search(&f).is_ok(),
+            Kind::Sparse {
+                replicas,
+                node_offsets,
+                node_files,
+                dense,
+            } => {
+                if let Some(hit) = dense.contains(f, u) {
+                    return hit;
+                }
+                let reps = &replicas[f as usize];
+                let lo = node_offsets[u as usize] as usize;
+                let hi = node_offsets[u as usize + 1] as usize;
+                let files = &node_files[lo..hi];
+                if reps.len() < files.len() {
+                    reps.binary_search(&u).is_ok()
+                } else {
+                    files.binary_search(&f).is_ok()
+                }
+            }
             Kind::Full => true,
         }
     }

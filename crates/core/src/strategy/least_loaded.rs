@@ -12,6 +12,7 @@
 use crate::metrics::FallbackKind;
 use crate::network::CacheNetwork;
 use crate::request::Request;
+use crate::strategy::sampler::PoolSampler;
 use crate::strategy::{nearest_replica, Assignment, Strategy};
 use paba_topology::{NodeId, Topology};
 use rand::Rng;
@@ -21,7 +22,8 @@ use rand::Rng;
 #[derive(Clone, Debug)]
 pub struct LeastLoadedInBall {
     radius: Option<u32>,
-    scratch: Vec<NodeId>,
+    /// Windowed pool materializer shared with Strategy II's sampler.
+    sampler: PoolSampler,
 }
 
 impl LeastLoadedInBall {
@@ -29,7 +31,7 @@ impl LeastLoadedInBall {
     pub fn new(radius: Option<u32>) -> Self {
         Self {
             radius,
-            scratch: Vec::new(),
+            sampler: PoolSampler::default(),
         }
     }
 
@@ -98,22 +100,15 @@ impl<T: Topology> Strategy<T> for LeastLoadedInBall {
                 }
             }
             Some(r) => {
-                let ball = topo.ball_size_at(req.origin, r);
                 if placement.is_full() {
                     topo.for_each_in_ball(req.origin, r, |v| consider(v, rng));
-                } else if (cnt as u64) <= ball {
-                    for i in 0..cnt {
-                        let v = placement.replica_at(req.file, i);
-                        if topo.dist(req.origin, v) <= r {
-                            consider(v, rng);
-                        }
-                    }
                 } else {
-                    topo.for_each_in_ball(req.origin, r, |v| {
-                        if placement.caches(v, req.file) {
-                            consider(v, rng);
-                        }
-                    });
+                    // Full information still means visiting the whole
+                    // pool, but the windowed materializer finds it via
+                    // O(r) binary searches instead of a per-node scan.
+                    for &v in self.sampler.materialize_pool(net, req.origin, req.file, r) {
+                        consider(v, rng);
+                    }
                 }
             }
         }
@@ -126,9 +121,8 @@ impl<T: Topology> Strategy<T> for LeastLoadedInBall {
             },
             None => {
                 // Empty ball: escalate to the global nearest replica.
-                let (server, hops) =
-                    nearest_replica(net, req.origin, req.file, &mut self.scratch, rng)
-                        .expect("cnt > 0 implies a replica exists");
+                let (server, hops) = nearest_replica(net, req.origin, req.file, rng)
+                    .expect("cnt > 0 implies a replica exists");
                 Assignment {
                     server,
                     hops,

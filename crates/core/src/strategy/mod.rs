@@ -12,11 +12,13 @@
 mod least_loaded;
 mod nearest;
 mod proximity;
+mod sampler;
 mod stale;
 
 pub use least_loaded::LeastLoadedInBall;
 pub use nearest::NearestReplica;
 pub use proximity::{PairMode, ProximityChoice, RadiusFallback};
+pub use sampler::SamplerKind;
 pub use stale::StaleLoad;
 
 use crate::metrics::FallbackKind;
@@ -60,16 +62,18 @@ pub trait Strategy<T: Topology> {
 /// tie-breaking** (Definition 2's random tie rule). Returns the chosen
 /// server and its distance, or `None` when the file has no replica.
 ///
-/// Complexity is adaptive: a linear scan over the replica list (cost
-/// `cnt`, with reservoir tie-sampling) when the list is short, and an
-/// expanding-ring search around the origin (cost `≈ ball(d*)`, where `d*`
-/// is the nearest distance) when replicas are plentiful. The crossover
-/// `cnt ≈ 2√n` equalizes the two costs since `E[ball(d*)] = Θ(n/cnt)`.
+/// Uses an expanding **row-band** search over the sorted replica list:
+/// scan only the replicas whose row lies within `w` of the origin's
+/// (a couple of binary searches plus a contiguous slice, courtesy of
+/// row-major node ids — [`Topology::row_band`]), and stop once the best
+/// distance found is `≤ w`, since everything outside the band is farther.
+/// Doubling `w` from `≈ side/cnt` touches `O(√cnt)` expected replicas
+/// instead of all `cnt` (the nearest replica sits at distance
+/// `Θ(√(n/cnt))`, where the band holds `Θ(√cnt)` entries).
 pub(crate) fn nearest_replica<T: Topology, R: Rng + ?Sized>(
     net: &CacheNetwork<T>,
     origin: NodeId,
     file: u32,
-    scratch: &mut Vec<NodeId>,
     rng: &mut R,
 ) -> Option<(NodeId, u32)> {
     let placement = net.placement();
@@ -77,45 +81,53 @@ pub(crate) fn nearest_replica<T: Topology, R: Rng + ?Sized>(
     if cnt == 0 {
         return None;
     }
+    if placement.is_full() {
+        // Every node caches the file: the origin serves itself.
+        return Some((origin, 0));
+    }
     let topo = net.topo();
-    let n = topo.n() as u64;
-    let use_linear = !placement.is_full() && (cnt as u64 * cnt as u64) <= 4 * n;
-    if use_linear {
-        // Reservoir over minimum-distance replicas: uniform among ties.
+    let reps = placement
+        .replica_list(file)
+        .expect("sparse placement has explicit replica lists");
+    let oc = topo.coord_of(origin);
+    let full_range = Some((0, topo.n() - 1));
+    // Start at the expected nearest distance Θ(√(n/cnt)), so the first
+    // band usually already contains the winner.
+    let mut w = (((topo.n() / cnt) as f64).sqrt() as u32).max(1);
+    loop {
+        let band = topo.row_band(oc, w);
         let mut best_d = u32::MAX;
         let mut ties = 0u32;
         let mut chosen = 0u32;
-        for i in 0..cnt {
-            let v = placement.replica_at(file, i);
-            let d = topo.dist(origin, v);
-            if d < best_d {
-                best_d = d;
-                ties = 1;
-                chosen = v;
-            } else if d == best_d {
-                ties += 1;
-                if rng.gen_range(0..ties) == 0 {
+        for (lo, hi) in band.into_iter().flatten() {
+            let a = sampler::interp_lower_bound(reps, lo, topo.n());
+            let b = sampler::interp_lower_bound(reps, hi + 1, topo.n());
+            for &v in &reps[a..b] {
+                let d = topo.dist_from(oc, v);
+                if d < best_d {
+                    best_d = d;
+                    ties = 1;
                     chosen = v;
+                } else if d == best_d {
+                    ties += 1;
+                    if rng.gen_range(0..ties) == 0 {
+                        chosen = v;
+                    }
                 }
             }
         }
-        return Some((chosen, best_d));
-    }
-    // Expanding-ring search: the first ring containing a replica is the
-    // nearest distance; pick uniformly inside that ring.
-    for d in 0..=topo.diameter() {
-        scratch.clear();
-        topo.for_each_at_distance(origin, d, |v| {
-            if placement.caches(v, file) {
-                scratch.push(v);
-            }
-        });
-        if !scratch.is_empty() {
-            let pick = scratch[rng.gen_range(0..scratch.len())];
-            return Some((pick, d));
+        let complete = band[0] == full_range;
+        if best_d != u32::MAX && (best_d <= w || complete) {
+            // Unscanned nodes are at row distance > w ≥ best_d, hence
+            // strictly farther: the winner (and its tie set) is global.
+            return Some((chosen, best_d));
         }
+        assert!(
+            !complete,
+            "replica_count > 0 but no replica found in the full band"
+        );
+        w = w.saturating_mul(2);
     }
-    unreachable!("replica_count > 0 but no replica found within the diameter");
 }
 
 #[cfg(test)]
@@ -151,10 +163,9 @@ mod tests {
     fn nearest_matches_bruteforce_distance() {
         let net = net(1, 9, 30, 3);
         let mut rng = SmallRng::seed_from_u64(2);
-        let mut scratch = Vec::new();
         for origin in 0..net.n() {
             for file in 0..net.k() {
-                let got = nearest_replica(&net, origin, file, &mut scratch, &mut rng);
+                let got = nearest_replica(&net, origin, file, &mut rng);
                 let expect = brute_nearest_dist(&net, origin, file);
                 match (got, expect) {
                     (None, None) => {}
@@ -170,23 +181,18 @@ mod tests {
     }
 
     #[test]
-    fn nearest_linear_and_ring_paths_agree() {
-        // High replica count forces the ring path; compare against a
-        // brute-force linear answer.
+    fn nearest_band_search_agrees_on_dense_files() {
+        // High replica count keeps the expanding band at width 1-2;
+        // compare against a brute-force answer.
         let net = net(3, 12, 4, 3); // K=4 small → each file has ~100 replicas
         let mut rng = SmallRng::seed_from_u64(4);
-        let mut scratch = Vec::new();
         for origin in (0..net.n()).step_by(7) {
             for file in 0..net.k() {
                 let cnt = net.placement().replica_count(file);
                 if cnt == 0 {
                     continue;
                 }
-                assert!(
-                    (cnt as u64 * cnt as u64) > 4 * net.n() as u64,
-                    "test setup should force ring path"
-                );
-                let (_, d) = nearest_replica(&net, origin, file, &mut scratch, &mut rng).unwrap();
+                let (_, d) = nearest_replica(&net, origin, file, &mut rng).unwrap();
                 assert_eq!(Some(d), brute_nearest_dist(&net, origin, file));
             }
         }
@@ -212,7 +218,6 @@ mod tests {
         );
         let net = CacheNetwork::from_parts(topo, library, placement);
         // Find an (origin, file) with ≥2 nearest ties.
-        let mut scratch = Vec::new();
         'outer: for origin in 0..net.n() {
             for file in 0..net.k() {
                 let Some(best) = brute_nearest_dist(&net, origin, file) else {
@@ -229,8 +234,7 @@ mod tests {
                 let mut counts = std::collections::HashMap::new();
                 let trials = 4000;
                 for _ in 0..trials {
-                    let (srv, _) =
-                        nearest_replica(&net, origin, file, &mut scratch, &mut rng).unwrap();
+                    let (srv, _) = nearest_replica(&net, origin, file, &mut rng).unwrap();
                     *counts.entry(srv).or_insert(0u32) += 1;
                 }
                 let expect = trials as f64 / ties.len() as f64;
@@ -254,9 +258,8 @@ mod tests {
         let placement = Placement::full(36, 9);
         let net = CacheNetwork::from_parts(topo, library, placement);
         let mut rng = SmallRng::seed_from_u64(5);
-        let mut scratch = Vec::new();
         for origin in 0..net.n() {
-            let (srv, d) = nearest_replica(&net, origin, 3, &mut scratch, &mut rng).unwrap();
+            let (srv, d) = nearest_replica(&net, origin, 3, &mut rng).unwrap();
             assert_eq!(srv, origin);
             assert_eq!(d, 0);
         }
@@ -270,7 +273,6 @@ mod tests {
             .find(|&f| net.placement().replica_count(f) == 0)
             .expect("regime guarantees uncached files");
         let mut rng = SmallRng::seed_from_u64(6);
-        let mut scratch = Vec::new();
-        assert!(nearest_replica(&net, 0, uncached, &mut scratch, &mut rng).is_none());
+        assert!(nearest_replica(&net, 0, uncached, &mut rng).is_none());
     }
 }

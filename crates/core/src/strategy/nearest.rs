@@ -10,17 +10,15 @@ use crate::metrics::FallbackKind;
 use crate::network::CacheNetwork;
 use crate::request::Request;
 use crate::strategy::{nearest_replica, Assignment, Strategy};
-use paba_topology::{NodeId, Topology};
+use paba_topology::Topology;
 use rand::Rng;
 
 /// Strategy I — nearest replica, uniform random tie-break.
 #[derive(Clone, Debug, Default)]
-pub struct NearestReplica {
-    scratch: Vec<NodeId>,
-}
+pub struct NearestReplica {}
 
 impl NearestReplica {
-    /// Create the strategy (stateless apart from scratch buffers).
+    /// Create the strategy (stateless).
     pub fn new() -> Self {
         Self::default()
     }
@@ -34,7 +32,7 @@ impl<T: Topology> Strategy<T> for NearestReplica {
         req: Request,
         rng: &mut R,
     ) -> Assignment {
-        match nearest_replica(net, req.origin, req.file, &mut self.scratch, rng) {
+        match nearest_replica(net, req.origin, req.file, rng) {
             Some((server, hops)) => Assignment {
                 server,
                 hops,

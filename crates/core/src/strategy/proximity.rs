@@ -23,7 +23,8 @@
 use crate::metrics::FallbackKind;
 use crate::network::CacheNetwork;
 use crate::request::Request;
-use crate::strategy::{nearest_replica, Assignment, Strategy};
+use crate::strategy::sampler::{sample_by_index, PoolDraw, PoolSampler};
+use crate::strategy::{nearest_replica, Assignment, SamplerKind, Strategy};
 use paba_topology::{NodeId, Topology};
 use rand::Rng;
 
@@ -56,10 +57,9 @@ pub struct ProximityChoice {
     d: u32,
     pair_mode: PairMode,
     fallback: RadiusFallback,
-    /// Workhorse: materialized eligible candidates for finite radii.
-    candidates: Vec<NodeId>,
-    /// Workhorse: ring-search buffer for the nearest-replica fallback.
-    scratch: Vec<NodeId>,
+    /// Workhorse: hybrid pool sampler for finite radii (owns the
+    /// exact-path materialization buffer).
+    sampler: PoolSampler,
     /// Workhorse: the d sampled candidates.
     picks: Vec<NodeId>,
 }
@@ -82,8 +82,7 @@ impl ProximityChoice {
             d,
             pair_mode: PairMode::default(),
             fallback: RadiusFallback::default(),
-            candidates: Vec::new(),
-            scratch: Vec::new(),
+            sampler: PoolSampler::new(SamplerKind::default()),
             picks: Vec::with_capacity(d as usize),
         }
     }
@@ -92,6 +91,17 @@ impl ProximityChoice {
     pub fn pair_mode(mut self, mode: PairMode) -> Self {
         self.pair_mode = mode;
         self
+    }
+
+    /// Override the pool sampler ([`SamplerKind::Hybrid`] by default).
+    pub fn sampler(mut self, kind: SamplerKind) -> Self {
+        self.sampler.set_kind(kind);
+        self
+    }
+
+    /// The configured pool sampler.
+    pub fn sampler_kind(&self) -> SamplerKind {
+        self.sampler.kind()
     }
 
     /// Override the empty-ball fallback behaviour.
@@ -137,62 +147,51 @@ impl ProximityChoice {
             Some(r) if r < topo.diameter() => Some(r),
             _ => None,
         };
-        let saved_d = self.d;
-        let saved_mode = self.pair_mode;
-        self.d = 2;
-        self.pair_mode = PairMode::Distinct;
-        let pair = match r_eff {
+        match r_eff {
             None => {
-                self.sample_by_index(cnt, |i| placement.replica_at(file, i), rng);
+                sample_by_index(
+                    cnt,
+                    2,
+                    PairMode::Distinct,
+                    |i| placement.replica_at(file, i),
+                    &mut self.picks,
+                    rng,
+                );
                 Some((self.picks[0], self.picks[1]))
             }
-            Some(r) => {
-                self.candidates.clear();
-                let ball = topo.ball_size_at(origin, r);
-                if placement.is_full() {
-                    if ball < 2 {
-                        None
-                    } else {
-                        let a = topo.sample_in_ball(origin, r, rng);
-                        let b = loop {
-                            let v = topo.sample_in_ball(origin, r, rng);
-                            if v != a {
-                                break v;
-                            }
-                        };
-                        Some((a, b))
-                    }
+            Some(r) if placement.is_full() => {
+                if topo.ball_size_at(origin, r) < 2 {
+                    None
                 } else {
-                    if (cnt as u64) <= ball {
-                        for i in 0..cnt {
-                            let v = placement.replica_at(file, i);
-                            if topo.dist(origin, v) <= r {
-                                self.candidates.push(v);
-                            }
+                    let a = topo.sample_in_ball(origin, r, rng);
+                    let b = loop {
+                        let v = topo.sample_in_ball(origin, r, rng);
+                        if v != a {
+                            break v;
                         }
-                    } else {
-                        let candidates = &mut self.candidates;
-                        topo.for_each_in_ball(origin, r, |v| {
-                            if placement.caches(v, file) {
-                                candidates.push(v);
-                            }
-                        });
-                    }
-                    if self.candidates.len() < 2 {
-                        None
-                    } else {
-                        let len = self.candidates.len() as u32;
-                        let candidates = std::mem::take(&mut self.candidates);
-                        self.sample_by_index(len, |i| candidates[i as usize], rng);
-                        self.candidates = candidates;
-                        Some((self.picks[0], self.picks[1]))
-                    }
+                    };
+                    Some((a, b))
                 }
             }
-        };
-        self.d = saved_d;
-        self.pair_mode = saved_mode;
-        pair
+            Some(r) => {
+                let drawn = self.sampler.draw(
+                    net,
+                    origin,
+                    file,
+                    r,
+                    2,
+                    PairMode::Distinct,
+                    &mut self.picks,
+                    rng,
+                );
+                match drawn {
+                    PoolDraw::Drawn if self.picks.len() == 2 => {
+                        Some((self.picks[0], self.picks[1]))
+                    }
+                    _ => None,
+                }
+            }
+        }
     }
 
     /// Pick the least-loaded node among `picks` (uniform among ties).
@@ -213,55 +212,6 @@ impl ProximityChoice {
             }
         }
         best
-    }
-
-    /// Sample `d` candidate *indices* from `0..cnt` into `picks` (as ids
-    /// via `map`), honouring the pair mode. `cnt ≥ 1`.
-    fn sample_by_index<R: Rng + ?Sized, F: Fn(u32) -> NodeId>(
-        &mut self,
-        cnt: u32,
-        map: F,
-        rng: &mut R,
-    ) {
-        self.picks.clear();
-        match self.pair_mode {
-            PairMode::WithReplacement => {
-                for _ in 0..self.d {
-                    self.picks.push(map(rng.gen_range(0..cnt)));
-                }
-            }
-            PairMode::Distinct => {
-                if cnt <= self.d {
-                    for i in 0..cnt {
-                        self.picks.push(map(i));
-                    }
-                } else if self.d == 2 {
-                    // Exact unordered distinct pair in two draws.
-                    let i = rng.gen_range(0..cnt);
-                    let mut j = rng.gen_range(0..cnt - 1);
-                    if j >= i {
-                        j += 1;
-                    }
-                    self.picks.push(map(i));
-                    self.picks.push(map(j));
-                } else {
-                    // Small-d rejection sampling over indices.
-                    let mut idxs: [u32; 16] = [u32::MAX; 16];
-                    let d = self.d.min(16) as usize;
-                    let mut filled = 0usize;
-                    while filled < d {
-                        let i = rng.gen_range(0..cnt);
-                        if !idxs[..filled].contains(&i) {
-                            idxs[filled] = i;
-                            filled += 1;
-                        }
-                    }
-                    for &i in &idxs[..d] {
-                        self.picks.push(map(i));
-                    }
-                }
-            }
-        }
     }
 }
 
@@ -302,7 +252,14 @@ impl<T: Topology> Strategy<T> for ProximityChoice {
                         fallback: Some(FallbackKind::SingleCandidate),
                     };
                 }
-                self.sample_by_index(cnt, |i| placement.replica_at(req.file, i), rng);
+                sample_by_index(
+                    cnt,
+                    self.d,
+                    self.pair_mode,
+                    |i| placement.replica_at(req.file, i),
+                    &mut self.picks,
+                    rng,
+                );
                 Self::least_loaded(&self.picks, loads, rng)
             }
             Some(r) if placement.is_full() => {
@@ -336,38 +293,27 @@ impl<T: Topology> Strategy<T> for ProximityChoice {
                 Self::least_loaded(&self.picks, loads, rng)
             }
             Some(r) => {
-                // Materialize the eligible pool B_r(origin) ∩ replicas,
-                // scanning whichever side is smaller.
-                self.candidates.clear();
-                let ball = topo.ball_size_at(req.origin, r);
-                if (cnt as u64) <= ball {
-                    for i in 0..cnt {
-                        let v = placement.replica_at(req.file, i);
-                        if topo.dist(req.origin, v) <= r {
-                            self.candidates.push(v);
-                        }
-                    }
-                } else {
-                    let candidates = &mut self.candidates;
-                    topo.for_each_in_ball(req.origin, r, |v| {
-                        if placement.caches(v, req.file) {
-                            candidates.push(v);
-                        }
-                    });
-                }
-                match self.candidates.len() {
-                    0 => {
+                // Sparse placement, finite radius: hybrid rejection
+                // sampling over B_r(origin) ∩ replicas — O(1) expected,
+                // exact scan only when the pool is too thin to sample.
+                let drawn = self.sampler.draw(
+                    net,
+                    req.origin,
+                    req.file,
+                    r,
+                    self.d,
+                    self.pair_mode,
+                    &mut self.picks,
+                    rng,
+                );
+                match drawn {
+                    PoolDraw::Empty => {
                         // Empty ball: escalate per the configured fallback.
                         return match self.fallback {
                             RadiusFallback::NearestGlobal => {
-                                let (server, hops) = nearest_replica(
-                                    net,
-                                    req.origin,
-                                    req.file,
-                                    &mut self.scratch,
-                                    rng,
-                                )
-                                .expect("cnt > 0 implies a nearest replica exists");
+                                let (server, hops) =
+                                    nearest_replica(net, req.origin, req.file, rng)
+                                        .expect("cnt > 0 implies a nearest replica exists");
                                 Assignment {
                                     server,
                                     hops,
@@ -381,21 +327,15 @@ impl<T: Topology> Strategy<T> for ProximityChoice {
                             },
                         };
                     }
-                    1 if self.d >= 2 => {
-                        let server = self.candidates[0];
+                    PoolDraw::Drawn if self.picks.len() == 1 && self.d >= 2 => {
+                        let server = self.picks[0];
                         return Assignment {
                             server,
                             hops: topo.dist(req.origin, server),
                             fallback: Some(FallbackKind::SingleCandidate),
                         };
                     }
-                    len => {
-                        let len = len as u32;
-                        let candidates = std::mem::take(&mut self.candidates);
-                        self.sample_by_index(len, |i| candidates[i as usize], rng);
-                        self.candidates = candidates;
-                        Self::least_loaded(&self.picks, loads, rng)
-                    }
+                    PoolDraw::Drawn => Self::least_loaded(&self.picks, loads, rng),
                 }
             }
         };
@@ -648,12 +588,48 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let net = net(11, 10, 25, 3);
-        let run = || {
-            let mut strat = ProximityChoice::two_choice(Some(4));
-            let mut rng = SmallRng::seed_from_u64(12);
-            simulate(&net, &mut strat, 500, &mut rng)
-        };
-        assert_eq!(run(), run());
+        for kind in [SamplerKind::Hybrid, SamplerKind::ExactScan] {
+            let run = || {
+                let mut strat = ProximityChoice::two_choice(Some(4)).sampler(kind);
+                let mut rng = SmallRng::seed_from_u64(12);
+                simulate(&net, &mut strat, 500, &mut rng)
+            };
+            assert_eq!(run(), run(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sampler_kinds_statistically_close() {
+        // Hybrid and exact-scan draw from identical distributions, so
+        // end-to-end load statistics must agree within Monte-Carlo noise
+        // — across a radius sweep spanning rejection, windowed, and
+        // fallback-heavy regimes.
+        for r in [2u32, 5, 9] {
+            let mut hybrid = 0.0;
+            let mut exact = 0.0;
+            let runs = 8;
+            for seed in 0..runs {
+                let net = net(1000 + seed, 16, 40, 4);
+                let mut rng = SmallRng::seed_from_u64(1100 + seed);
+                let mut sh = ProximityChoice::two_choice(Some(r)).sampler(SamplerKind::Hybrid);
+                hybrid += simulate(&net, &mut sh, net.n() as u64, &mut rng).max_load() as f64;
+                let mut rng = SmallRng::seed_from_u64(1200 + seed);
+                let mut se = ProximityChoice::two_choice(Some(r)).sampler(SamplerKind::ExactScan);
+                exact += simulate(&net, &mut se, net.n() as u64, &mut rng).max_load() as f64;
+            }
+            assert!(
+                (hybrid - exact).abs() / runs as f64 <= 0.75,
+                "r={r}: hybrid {hybrid} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_kind_is_configurable() {
+        let s = ProximityChoice::two_choice(Some(3));
+        assert_eq!(s.sampler_kind(), SamplerKind::Hybrid);
+        let s = s.sampler(SamplerKind::ExactScan);
+        assert_eq!(s.sampler_kind(), SamplerKind::ExactScan);
     }
 
     #[test]

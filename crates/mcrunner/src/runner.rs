@@ -4,8 +4,6 @@ use crate::progress::Progress;
 use paba_util::{split_seed, OnlineStats, Summary};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Execute `runs` independent runs of `run_fn` in parallel and return the
 /// outputs **in run-index order**.
@@ -66,53 +64,50 @@ where
         return out;
     }
 
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..runs).map(|_| None).collect());
-    std::thread::scope(|scope| {
+    // Lock-free collection: thread `t` owns the strided index set
+    // {t, t + T, t + 2T, …} and appends into its private output vector, so
+    // workers never contend on a shared lock. Striding (rather than
+    // contiguous chunks) keeps the load balanced when run costs vary
+    // systematically with the index, as in flattened sweep grids. Results
+    // are interleaved back into run order afterwards; determinism is
+    // untouched because each run's RNG depends only on
+    // `(master_seed, run_index)`.
+    let per_thread: Vec<Vec<O>> = std::thread::scope(|scope| {
+        let run_fn = &run_fn;
         let handles: Vec<_> = (0..n_threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    // Batch local results to keep lock traffic low.
-                    let mut local: Vec<(usize, O)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= runs {
-                            break;
-                        }
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut local: Vec<O> = Vec::with_capacity(runs.div_ceil(n_threads));
+                    let mut i = t;
+                    while i < runs {
                         let mut rng = SmallRng::seed_from_u64(split_seed(master_seed, i as u64));
-                        local.push((i, run_fn(i, &mut rng)));
+                        local.push(run_fn(i, &mut rng));
                         if let Some(p) = progress {
                             p.tick();
                         }
-                        if local.len() >= 64 {
-                            let mut guard = results.lock().unwrap();
-                            for (idx, o) in local.drain(..) {
-                                guard[idx] = Some(o);
-                            }
-                        }
+                        i += n_threads;
                     }
-                    if !local.is_empty() {
-                        let mut guard = results.lock().unwrap();
-                        for (idx, o) in local.drain(..) {
-                            guard[idx] = Some(o);
-                        }
-                    }
+                    local
                 })
             })
             .collect();
-        for h in handles {
-            if h.join().is_err() {
-                panic!("a Monte-Carlo worker panicked");
-            }
-        }
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| panic!("a Monte-Carlo worker panicked"))
+            })
+            .collect()
     });
 
-    results
-        .into_inner()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-        .into_iter()
-        .enumerate()
-        .map(|(i, o)| o.unwrap_or_else(|| panic!("run {i} produced no output")))
+    let mut iters: Vec<std::vec::IntoIter<O>> =
+        per_thread.into_iter().map(Vec::into_iter).collect();
+    (0..runs)
+        .map(|i| {
+            iters[i % n_threads]
+                .next()
+                .unwrap_or_else(|| panic!("run {i} produced no output"))
+        })
         .collect()
 }
 

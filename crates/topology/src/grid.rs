@@ -34,12 +34,14 @@ impl Grid {
 
     /// Create a grid with `n` nodes; `n` must be a perfect square.
     pub fn from_nodes(n: u32) -> Self {
-        let side = (n as f64).sqrt().round() as u32;
+        // Compare in u64: near u32::MAX the rounded square root is 65536
+        // and `side * side` would wrap to 0 in u32 arithmetic.
+        let side = (n as f64).sqrt().round() as u64;
         assert!(
-            side >= 1 && side * side == n,
+            side >= 1 && side * side == n as u64,
             "n={n} is not a positive perfect square"
         );
-        Self::new(side)
+        Self::new(side as u32)
     }
 
     /// Side length.
@@ -79,6 +81,14 @@ impl Grid {
     pub fn dist(&self, a: NodeId, b: NodeId) -> u32 {
         let (ca, cb) = (self.coord(a), self.coord(b));
         ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)
+    }
+
+    /// Hop distance from an already-decoded coordinate `from` to node `v`;
+    /// see [`crate::Torus::dist_from`] for the rationale.
+    #[inline]
+    pub fn dist_from(&self, from: Coord, v: NodeId) -> u32 {
+        let cv = self.coord(v);
+        from.x.abs_diff(cv.x) + from.y.abs_diff(cv.y)
     }
 
     /// Size of `B_r(u)` — position-dependent on a bounded grid.
@@ -142,6 +152,34 @@ impl Grid {
         }
     }
 
+    /// Visit the maximal contiguous **node-id intervals** `[lo, hi]`
+    /// (inclusive) that exactly cover `B_r(u)` — one interval per lattice
+    /// row on the bounded grid (no wraparound seams); see
+    /// [`crate::Torus::for_each_ball_id_range`] for the rationale.
+    pub fn for_each_ball_id_range<F: FnMut(NodeId, NodeId)>(&self, u: NodeId, r: u32, mut f: F) {
+        let c = self.coord(u);
+        let side = self.side as i64;
+        let (cx, cy) = (c.x as i64, c.y as i64);
+        let ri = r as i64;
+        for y in (cy - ri).max(0)..=(cy + ri).min(side - 1) {
+            let budget = ri - (y - cy).abs();
+            let x_lo = (cx - budget).max(0);
+            let x_hi = (cx + budget).min(side - 1);
+            let row = y as u32 * self.side;
+            f(row + x_lo as u32, row + x_hi as u32);
+        }
+    }
+
+    /// The single maximal contiguous node-id range covering every node
+    /// whose row lies within distance `w` of `from`'s row; see
+    /// [`crate::Torus::row_band`]. Returned as a two-slot array to match
+    /// the torus signature (the second slot is always `None` here).
+    pub fn row_band(&self, from: Coord, w: u32) -> [Option<(NodeId, NodeId)>; 2] {
+        let ylo = from.y.saturating_sub(w);
+        let yhi = from.y.saturating_add(w).min(self.side - 1);
+        [Some((ylo * self.side, (yhi + 1) * self.side - 1)), None]
+    }
+
     /// Collect `B_r(u)` into a vector.
     pub fn ball_nodes(&self, u: NodeId, r: u32) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(self.ball_size_at(u, r) as usize);
@@ -151,13 +189,18 @@ impl Grid {
 
     /// Uniform random node of `B_r(u)` via diamond rejection with clipping.
     pub fn sample_in_ball<R: Rng + ?Sized>(&self, u: NodeId, r: u32, rng: &mut R) -> NodeId {
+        self.sample_in_ball_from(self.coord(u), r, rng)
+    }
+
+    /// [`Grid::sample_in_ball`] from an already-decoded center coordinate
+    /// (skips the per-call div/mod decode on rejection-sampling loops).
+    pub fn sample_in_ball_from<R: Rng + ?Sized>(&self, c: Coord, r: u32, rng: &mut R) -> NodeId {
         if r == 0 || self.n == 1 {
-            return u;
+            return self.node(c);
         }
         if r >= self.diameter() {
             return rng.gen_range(0..self.n);
         }
-        let c = self.coord(u);
         let side = self.side as i64;
         let (cx, cy) = (c.x as i64, c.y as i64);
         let ri = r as i64;

@@ -5,6 +5,7 @@
 //! enumeration, and uniform in-ball sampling, so both [`crate::Torus`]
 //! (the paper's model) and [`crate::Grid`] (Remark 1 ablation) plug in.
 
+use crate::coords::Coord;
 use crate::NodeId;
 use rand::Rng;
 
@@ -23,6 +24,21 @@ pub trait Topology: Clone + Send + Sync {
     /// Hop distance between two nodes.
     fn dist(&self, a: NodeId, b: NodeId) -> u32;
 
+    /// Lattice coordinate of node `v`.
+    ///
+    /// Decode once, reuse many times: pair with [`Topology::dist_from`] on
+    /// hot loops that measure one fixed origin against a stream of nodes.
+    fn coord_of(&self, v: NodeId) -> Coord;
+
+    /// Hop distance from an already-decoded coordinate to node `v`.
+    ///
+    /// Must satisfy `dist_from(coord_of(a), b) == dist(a, b)` for every
+    /// pair of nodes. The point of taking a [`Coord`] instead of a
+    /// [`NodeId`] is to let callers hoist the origin's div/mod coordinate
+    /// decode out of per-candidate loops (replica scans, rejection
+    /// sampling), where it otherwise dominates the distance check.
+    fn dist_from(&self, from: Coord, v: NodeId) -> u32;
+
     /// Maximum distance between any two nodes.
     fn diameter(&self) -> u32;
 
@@ -31,6 +47,23 @@ pub trait Topology: Clone + Send + Sync {
 
     /// Visit each node within distance `r` of `u` exactly once.
     fn for_each_in_ball<F: FnMut(NodeId)>(&self, u: NodeId, r: u32, f: F);
+
+    /// Visit the maximal contiguous **node-id intervals** `[lo, hi]`
+    /// (inclusive) that exactly cover `B_r(u)`, each node once.
+    ///
+    /// Node ids are row-major, so the ball is at most `2(2r + 1)`
+    /// intervals. This lets callers intersect sorted node lists (e.g. a
+    /// file's replica list) with a ball in `O(r log len)` binary searches
+    /// plus contiguous reads, instead of `O(len)` or `O(|B_r|)`
+    /// per-node membership checks.
+    fn for_each_ball_id_range<F: FnMut(NodeId, NodeId)>(&self, u: NodeId, r: u32, f: F);
+
+    /// The (at most two) maximal contiguous node-id ranges `[lo, hi]`
+    /// covering every node whose row lies within distance `w` of `from`'s
+    /// row. Must collapse to `[(0, n−1)]` once the band spans all rows —
+    /// callers use that as the "everything scanned" terminator of
+    /// expanding-band searches.
+    fn row_band(&self, from: Coord, w: u32) -> [Option<(NodeId, NodeId)>; 2];
 
     /// Visit each node at distance exactly `d` from `u` exactly once.
     fn for_each_at_distance<F: FnMut(NodeId)>(&self, u: NodeId, d: u32, f: F);
@@ -42,6 +75,11 @@ pub trait Topology: Clone + Send + Sync {
 
     /// Uniform random node within distance `r` of `u` (including `u`).
     fn sample_in_ball<R: Rng + ?Sized>(&self, u: NodeId, r: u32, rng: &mut R) -> NodeId;
+
+    /// [`Topology::sample_in_ball`] from an already-decoded center
+    /// coordinate — the per-trial primitive of rejection-sampling loops,
+    /// which decode the center once and then draw many times.
+    fn sample_in_ball_from<R: Rng + ?Sized>(&self, from: Coord, r: u32, rng: &mut R) -> NodeId;
 }
 
 impl Topology for crate::Torus {
@@ -61,6 +99,16 @@ impl Topology for crate::Torus {
     }
 
     #[inline]
+    fn coord_of(&self, v: NodeId) -> Coord {
+        self.coord(v)
+    }
+
+    #[inline]
+    fn dist_from(&self, from: Coord, v: NodeId) -> u32 {
+        self.dist_from(from, v)
+    }
+
+    #[inline]
     fn diameter(&self) -> u32 {
         self.diameter()
     }
@@ -76,6 +124,16 @@ impl Topology for crate::Torus {
     }
 
     #[inline]
+    fn for_each_ball_id_range<F: FnMut(NodeId, NodeId)>(&self, u: NodeId, r: u32, f: F) {
+        self.for_each_ball_id_range(u, r, f)
+    }
+
+    #[inline]
+    fn row_band(&self, from: Coord, w: u32) -> [Option<(NodeId, NodeId)>; 2] {
+        self.row_band(from, w)
+    }
+
+    #[inline]
     fn for_each_at_distance<F: FnMut(NodeId)>(&self, u: NodeId, d: u32, f: F) {
         self.for_each_at_distance(u, d, f)
     }
@@ -83,6 +141,11 @@ impl Topology for crate::Torus {
     #[inline]
     fn sample_in_ball<R: Rng + ?Sized>(&self, u: NodeId, r: u32, rng: &mut R) -> NodeId {
         self.sample_in_ball(u, r, rng)
+    }
+
+    #[inline]
+    fn sample_in_ball_from<R: Rng + ?Sized>(&self, from: Coord, r: u32, rng: &mut R) -> NodeId {
+        self.sample_in_ball_from(from, r, rng)
     }
 }
 
@@ -103,6 +166,16 @@ impl Topology for crate::Grid {
     }
 
     #[inline]
+    fn coord_of(&self, v: NodeId) -> Coord {
+        self.coord(v)
+    }
+
+    #[inline]
+    fn dist_from(&self, from: Coord, v: NodeId) -> u32 {
+        self.dist_from(from, v)
+    }
+
+    #[inline]
     fn diameter(&self) -> u32 {
         self.diameter()
     }
@@ -118,6 +191,16 @@ impl Topology for crate::Grid {
     }
 
     #[inline]
+    fn for_each_ball_id_range<F: FnMut(NodeId, NodeId)>(&self, u: NodeId, r: u32, f: F) {
+        self.for_each_ball_id_range(u, r, f)
+    }
+
+    #[inline]
+    fn row_band(&self, from: Coord, w: u32) -> [Option<(NodeId, NodeId)>; 2] {
+        self.row_band(from, w)
+    }
+
+    #[inline]
     fn for_each_at_distance<F: FnMut(NodeId)>(&self, u: NodeId, d: u32, f: F) {
         self.for_each_at_distance(u, d, f)
     }
@@ -125,6 +208,11 @@ impl Topology for crate::Grid {
     #[inline]
     fn sample_in_ball<R: Rng + ?Sized>(&self, u: NodeId, r: u32, rng: &mut R) -> NodeId {
         self.sample_in_ball(u, r, rng)
+    }
+
+    #[inline]
+    fn sample_in_ball_from<R: Rng + ?Sized>(&self, from: Coord, r: u32, rng: &mut R) -> NodeId {
+        self.sample_in_ball_from(from, r, rng)
     }
 }
 
@@ -139,19 +227,51 @@ mod tests {
     fn check_consistency<T: Topology>(t: &T) {
         let mut rng = SmallRng::seed_from_u64(11);
         for u in [0u32, t.n() / 3, t.n() - 1] {
+            let cu = t.coord_of(u);
             for r in [0u32, 1, 2, t.side(), t.diameter()] {
                 let mut count = 0u64;
                 t.for_each_in_ball(u, r, |v| {
                     assert!(t.dist(u, v) <= r);
+                    assert_eq!(t.dist_from(cu, v), t.dist(u, v), "dist_from mismatch");
                     count += 1;
                 });
                 assert_eq!(count, t.ball_size_at(u, r), "ball size mismatch");
+                // Id-interval decomposition covers the same ball exactly.
+                let mut from_ranges: Vec<NodeId> = Vec::new();
+                t.for_each_ball_id_range(u, r, |lo, hi| {
+                    assert!(lo <= hi, "u={u} r={r}: inverted range [{lo}, {hi}]");
+                    from_ranges.extend(lo..=hi);
+                });
+                let mut from_ball: Vec<NodeId> = Vec::new();
+                t.for_each_in_ball(u, r, |v| from_ball.push(v));
+                from_ranges.sort_unstable();
+                from_ball.sort_unstable();
+                assert_eq!(from_ranges, from_ball, "u={u} r={r}: range decomposition");
+                // Row bands cover exactly the nodes within row-distance r.
+                let in_band: Vec<NodeId> = t
+                    .row_band(cu, r)
+                    .into_iter()
+                    .flatten()
+                    .flat_map(|(lo, hi)| lo..=hi)
+                    .collect();
+                let expect_band: Vec<NodeId> = (0..t.n())
+                    .filter(|&v| {
+                        let cv = t.coord_of(v);
+                        // Row distance: project out the x axis entirely.
+                        t.dist_from(Coord::new(cv.x, cu.y), v) <= r
+                    })
+                    .collect();
+                let mut got_band = in_band.clone();
+                got_band.sort_unstable();
+                assert_eq!(got_band, expect_band, "u={u} w={r}: row band");
                 // ring nodes are exactly at distance d
                 t.for_each_at_distance(u, r, |v| {
                     assert_eq!(t.dist(u, v), r);
                 });
                 let v = t.sample_in_ball(u, r, &mut rng);
                 assert!(t.dist(u, v) <= r);
+                let v = t.sample_in_ball_from(cu, r, &mut rng);
+                assert!(t.dist(u, v) <= r, "sample_in_ball_from left the ball");
             }
         }
     }

@@ -43,12 +43,14 @@ impl Torus {
     /// # Panics
     /// If `n` is not a positive perfect square.
     pub fn from_nodes(n: u32) -> Self {
-        let side = (n as f64).sqrt().round() as u32;
+        // Compare in u64: near u32::MAX the rounded square root is 65536
+        // and `side * side` would wrap to 0 in u32 arithmetic.
+        let side = (n as f64).sqrt().round() as u64;
         assert!(
-            side >= 1 && side * side == n,
+            side >= 1 && side * side == n as u64,
             "n={n} is not a positive perfect square"
         );
-        Self::new(side)
+        Self::new(side as u32)
     }
 
     /// Side length `√n`.
@@ -88,6 +90,17 @@ impl Torus {
     pub fn dist(&self, a: NodeId, b: NodeId) -> u32 {
         let (ca, cb) = (self.coord(a), self.coord(b));
         wrapped_delta(ca.x, cb.x, self.side) + wrapped_delta(ca.y, cb.y, self.side)
+    }
+
+    /// Hop distance from an already-decoded coordinate `from` to node `v`.
+    ///
+    /// Equivalent to `dist(node(from), v)` but skips re-deriving `from`'s
+    /// coordinate (a div + mod) — the win on loops that compare one fixed
+    /// origin against many nodes.
+    #[inline]
+    pub fn dist_from(&self, from: Coord, v: NodeId) -> u32 {
+        let cv = self.coord(v);
+        wrapped_delta(from.x, cv.x, self.side) + wrapped_delta(from.y, cv.y, self.side)
     }
 
     /// Node reached from `v` by the (possibly negative, possibly large)
@@ -175,6 +188,67 @@ impl Torus {
         }
     }
 
+    /// Visit the maximal contiguous **node-id intervals** `[lo, hi]`
+    /// (inclusive) that exactly cover `B_r(u)`, each node once.
+    ///
+    /// Node ids are row-major (`id = y·side + x`), so each lattice row's
+    /// slice of the ball is one id interval (two when the x-window wraps);
+    /// the ball decomposes into at most `2(2r + 1)` intervals. Sorted
+    /// per-file replica lists can therefore be intersected with a ball via
+    /// `O(r)` binary searches plus contiguous reads instead of a
+    /// per-node membership scan — the backbone of the assignment-path
+    /// window sampler in `paba-core`.
+    pub fn for_each_ball_id_range<F: FnMut(NodeId, NodeId)>(&self, u: NodeId, r: u32, mut f: F) {
+        let c = self.coord(u);
+        let side = self.side;
+        let half = side / 2;
+        for w in 0..=r.min(half) {
+            let budget = r - w;
+            let ys = self.axis_residues(c.y, w);
+            for y in ys.into_iter().flatten() {
+                let row = y * side;
+                if 2 * budget as u64 + 1 >= side as u64 {
+                    f(row, row + side - 1);
+                    continue;
+                }
+                let xlo = wrap_offset(c.x, -(budget as i64), side);
+                let xhi = wrap_offset(c.x, budget as i64, side);
+                if xlo <= xhi {
+                    f(row + xlo, row + xhi);
+                } else {
+                    // x-window wraps the seam: two disjoint intervals.
+                    f(row, row + xhi);
+                    f(row + xlo, row + side - 1);
+                }
+            }
+        }
+    }
+
+    /// The (at most two) maximal contiguous node-id ranges `[lo, hi]`
+    /// covering every node whose **row** lies within wrapped distance `w`
+    /// of `from`'s row — the whole torus collapses to `[(0, n−1)]` once
+    /// `2w + 1 ≥ side`.
+    ///
+    /// Used by the expanding-band nearest-replica search: replicas outside
+    /// the band are at distance `> w`, so a best-so-far `≤ w` is globally
+    /// optimal.
+    pub fn row_band(&self, from: Coord, w: u32) -> [Option<(NodeId, NodeId)>; 2] {
+        let side = self.side;
+        if 2 * w as u64 + 1 >= side as u64 {
+            return [Some((0, self.n - 1)), None];
+        }
+        let ylo = wrap_offset(from.y, -(w as i64), side);
+        let yhi = wrap_offset(from.y, w as i64, side);
+        if ylo <= yhi {
+            [Some((ylo * side, (yhi + 1) * side - 1)), None]
+        } else {
+            [
+                Some((0, (yhi + 1) * side - 1)),
+                Some((ylo * side, self.n - 1)),
+            ]
+        }
+    }
+
     /// Collect `B_r(u)` into a vector (testing / analysis convenience).
     pub fn ball_nodes(&self, u: NodeId, r: u32) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(self.ball_size(r) as usize);
@@ -198,12 +272,11 @@ impl Torus {
         if r == 0 || self.n == 1 {
             return u;
         }
-        if self.ball_size(r) == self.n as u64 {
-            return rng.gen_range(0..self.n);
-        }
         let side = self.side as u64;
         if (2 * r as u64) < side {
             // Diamond |dx|+|dy| ≤ r is injective: reject from the square.
+            // (Checked first so the hot non-wrapping path never pays the
+            // O(r) `ball_size` evaluation below.)
             let ri = r as i64;
             loop {
                 let dx = rng.gen_range(-ri..=ri);
@@ -213,6 +286,9 @@ impl Torus {
                 }
             }
         }
+        if self.ball_size(r) == self.n as u64 {
+            return rng.gen_range(0..self.n);
+        }
         // Large ball: reject from the whole torus (acceptance ≥ ~½ here).
         loop {
             let v = rng.gen_range(0..self.n);
@@ -220,6 +296,40 @@ impl Torus {
                 return v;
             }
         }
+    }
+
+    /// [`Torus::sample_in_ball`] from an already-decoded center coordinate.
+    ///
+    /// Rejection-sampling loops call this once per trial, so it avoids
+    /// both the center's div/mod decode and the `rem_euclid` divisions of
+    /// the generic `offset` wrap: `|dx|, |dy| ≤ r < side` in the diamond
+    /// regime, so a compare-and-add wraps each axis.
+    pub fn sample_in_ball_from<R: Rng + ?Sized>(&self, c: Coord, r: u32, rng: &mut R) -> NodeId {
+        if 0 < r && (2 * r as u64) < self.side as u64 {
+            let side = self.side as i64;
+            let ri = r as i64;
+            loop {
+                let dx = rng.gen_range(-ri..=ri);
+                let dy = rng.gen_range(-ri..=ri);
+                if dx.abs() + dy.abs() > ri {
+                    continue;
+                }
+                let mut x = c.x as i64 + dx;
+                if x < 0 {
+                    x += side;
+                } else if x >= side {
+                    x -= side;
+                }
+                let mut y = c.y as i64 + dy;
+                if y < 0 {
+                    y += side;
+                } else if y >= side {
+                    y -= side;
+                }
+                return y as u32 * self.side + x as u32;
+            }
+        }
+        self.sample_in_ball(self.node(c), r, rng)
     }
 
     /// Exact mean hop distance between a uniform ordered pair of nodes.
@@ -462,6 +572,32 @@ mod tests {
                 (c - expect).abs() < 5.0 * expect.sqrt() + 1.0,
                 "node {v}: {c} vs {expect}"
             );
+        }
+    }
+
+    #[test]
+    fn sample_in_ball_from_is_roughly_uniform() {
+        let t = Torus::new(15);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let u = 31;
+        let c = t.coord(u);
+        for r in [2u32, 4, 7, 12, 20] {
+            let ball = t.ball_nodes(u, r);
+            let trials = 4_000 * ball.len();
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..trials {
+                *counts
+                    .entry(t.sample_in_ball_from(c, r, &mut rng))
+                    .or_insert(0usize) += 1;
+            }
+            let expect = trials as f64 / ball.len() as f64;
+            for v in ball {
+                let got = counts.get(&v).copied().unwrap_or(0) as f64;
+                assert!(
+                    (got - expect).abs() < 5.0 * expect.sqrt() + 1.0,
+                    "r={r} node {v}: {got} vs {expect}"
+                );
+            }
         }
     }
 
