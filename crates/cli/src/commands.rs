@@ -25,6 +25,7 @@ USAGE:
   paba workload generate [options]    generate a request trace file
   paba workload inspect [options]     summarize a request trace file
   paba throughput [options]           measure assign-loop requests/sec
+  paba repro [options]                run the theorem-gated reproduction suite
   paba help                           show this text
 
 SIMULATE OPTIONS (defaults in parentheses):
@@ -78,6 +79,18 @@ THROUGHPUT OPTIONS:
   --requests Q      requests per grid point (0 = n of the point)
   --out PATH        JSON report path (BENCH_throughput.json; 'none' skips)
   --csv             emit CSV instead of a table
+
+REPRO OPTIONS:
+  --scale S         quick | default | full experiment grids (PABA_SCALE or default)
+  --quick           shorthand for --scale quick
+  --seed S          master seed (20170529)
+  --runs R          override every experiment's Monte-Carlo run count
+  --out PATH        artifact path (BENCH_repro.json; BENCH_repro_fresh.json
+                    under --check; 'none' skips writing)
+  --check           statistically diff the fresh run against --golden and
+                    fail on regression or gate failure
+  --golden PATH     committed golden artifact to diff against (BENCH_repro.json)
+  --csv             emit CSV instead of tables
 
 BALLSBINS OPTIONS:
   --process P       one | two | d | beta | batched (two)
@@ -498,6 +511,130 @@ pub fn throughput(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Do two path spellings name the same file? Canonicalizes each path
+/// (falling back to canonicalizing the parent when the file does not
+/// exist yet), so `BENCH_repro.json` and `./BENCH_repro.json` compare
+/// equal; a raw string comparison backstops paths that cannot resolve.
+fn same_file(a: &str, b: &str) -> bool {
+    fn canon(p: &str) -> Option<std::path::PathBuf> {
+        let path = std::path::Path::new(p);
+        if let Ok(c) = std::fs::canonicalize(path) {
+            return Some(c);
+        }
+        let parent = match path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d,
+            _ => std::path::Path::new("."),
+        };
+        Some(std::fs::canonicalize(parent).ok()?.join(path.file_name()?))
+    }
+    match (canon(a), canon(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => a == b,
+    }
+}
+
+/// `paba repro` — the theorem-gated paper-reproduction suite of
+/// `paba-repro`: run the experiments, print the gates, write the
+/// versioned artifact, and (with `--check`) statistically diff against
+/// the committed golden.
+pub fn repro(a: &Args) -> Result<(), String> {
+    reject_action(a)?;
+    let unknown = a.unknown_keys(&[
+        "scale", "quick", "seed", "runs", "out", "check", "golden", "csv",
+    ]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown option(s): {unknown:?} (see 'paba help')"));
+    }
+    let env_cfg = paba_util::envcfg::EnvCfg::from_env();
+    let scale = if a.flag("quick") {
+        paba_util::envcfg::Scale::Quick
+    } else {
+        match a.get("scale") {
+            None => env_cfg.scale,
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("--scale: expected quick|default|full, got '{s}'"))?,
+        }
+    };
+    let check = a.flag("check");
+    let mut cfg = paba_repro::ReproConfig::new(scale);
+    cfg.seed = a.parse_or("seed", paba_util::envcfg::DEFAULT_SEED)?;
+    cfg.runs_override = match a.get("runs") {
+        None => None,
+        Some(_) => match a.parse_or("runs", 0usize)? {
+            0 => return Err("--runs must be a positive run count".into()),
+            r => Some(r),
+        },
+    };
+    let default_out = if check {
+        // Never clobber the golden we are about to diff against.
+        "BENCH_repro_fresh.json"
+    } else {
+        "BENCH_repro.json"
+    };
+    let out = a.str_or("out", default_out);
+    let golden_path = a.str_or("golden", "BENCH_repro.json");
+    if a.get("golden").is_some() && !check {
+        return Err(
+            "--golden only makes sense with --check (a plain run would ignore it \
+             and regenerate the artifact instead)"
+                .into(),
+        );
+    }
+    // Load the golden *before* running or writing anything: a fresh
+    // artifact written over the golden would otherwise self-compare
+    // (guaranteed green) while destroying the committed baseline.
+    let golden = if check {
+        if out != "none" && same_file(&out, &golden_path) {
+            return Err(format!(
+                "--check refuses to overwrite the golden it diffs against \
+                 ('{golden_path}'); pass a different --out (or 'none')"
+            ));
+        }
+        Some(paba_repro::Artifact::load(std::path::Path::new(
+            &golden_path,
+        ))?)
+    } else {
+        None
+    };
+
+    let artifact = paba_repro::run_suite(&cfg);
+    let gates = paba_repro::gates_table(&artifact);
+    if a.flag("csv") {
+        print!("{}", gates.to_csv());
+    } else {
+        print!("{}", gates.to_markdown());
+    }
+    if out != "none" {
+        artifact.write(std::path::Path::new(&out))?;
+        eprintln!(
+            "wrote {} gates / {} metrics to {out}",
+            artifact.gates.len(),
+            artifact.metrics.len()
+        );
+    }
+    if !artifact.all_gates_passed() {
+        return Err("reproduction gates failed (see table above)".into());
+    }
+    if let Some(golden) = golden {
+        let rep = paba_repro::check(&artifact, &golden, paba_repro::DEFAULT_CHECK_Z)?;
+        let t = paba_repro::check_table(&rep);
+        if a.flag("csv") {
+            print!("{}", t.to_csv());
+        } else {
+            print!("{}", t.to_markdown());
+        }
+        if !rep.ok() {
+            return Err(format!(
+                "golden check failed: {} regression(s) vs {golden_path}",
+                rep.regressions.len()
+            ));
+        }
+        eprintln!("golden check passed against {golden_path}");
+    }
+    Ok(())
+}
+
 /// `paba workload <generate|inspect>`.
 pub fn workload(a: &Args) -> Result<(), String> {
     match a.action.as_deref() {
@@ -741,7 +878,8 @@ mod tests {
 
     #[test]
     fn throughput_quick_runs_and_writes_json() {
-        let dir = std::env::temp_dir().join("paba_cli_throughput_test");
+        let dir =
+            std::env::temp_dir().join(format!("paba_cli_throughput_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_throughput.json");
         let a = args(&format!(
@@ -759,6 +897,93 @@ mod tests {
     fn throughput_rejects_bad_scale() {
         let a = args("throughput --scale enormous --out none");
         assert!(throughput(&a).unwrap_err().contains("enormous"));
+    }
+
+    #[test]
+    fn repro_generate_then_check_round_trips() {
+        let dir = std::env::temp_dir().join(format!("paba_cli_repro_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let golden = dir.join("BENCH_repro.json");
+        let fresh = dir.join("BENCH_repro_fresh.json");
+        // Reduced replication keeps this test fast; 16 runs still clears
+        // every gate threshold with margin, and the self-check is exact.
+        let gen = args(&format!(
+            "repro --quick --runs 16 --out {}",
+            golden.display()
+        ));
+        repro(&gen).unwrap();
+        let json = std::fs::read_to_string(&golden).unwrap();
+        assert!(json.contains("\"schema\": \"paba-repro/1\""));
+        let chk = args(&format!(
+            "repro --quick --runs 16 --check --golden {} --out {}",
+            golden.display(),
+            fresh.display()
+        ));
+        repro(&chk).unwrap();
+        assert!(fresh.exists(), "--check must write the fresh artifact");
+        std::fs::remove_file(&golden).ok();
+        std::fs::remove_file(&fresh).ok();
+    }
+
+    #[test]
+    fn repro_check_detects_doctored_golden() {
+        let dir =
+            std::env::temp_dir().join(format!("paba_cli_repro_doctored_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let golden = dir.join("BENCH_repro.json");
+        repro(&args(&format!(
+            "repro --quick --runs 16 --out {}",
+            golden.display()
+        )))
+        .unwrap();
+        // Corrupt one deterministic-looking metric far beyond noise.
+        let doctored = std::fs::read_to_string(&golden).unwrap().replacen(
+            "\"mean\": ",
+            "\"mean\": 99999 , \"was\": ",
+            1,
+        );
+        std::fs::write(&golden, doctored).unwrap();
+        let err = repro(&args(&format!(
+            "repro --quick --runs 16 --check --golden {} --out none",
+            golden.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        std::fs::remove_file(&golden).ok();
+    }
+
+    #[test]
+    fn repro_rejects_unknown_options() {
+        let a = args("repro --sacle quick");
+        assert!(repro(&a).unwrap_err().contains("sacle"));
+    }
+
+    #[test]
+    fn repro_check_refuses_aliased_golden_out_paths() {
+        let dir = std::env::temp_dir().join(format!("paba_cli_repro_alias_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let golden = dir.join("BENCH_repro.json");
+        std::fs::write(&golden, "{}").unwrap();
+        // Same file, different spelling (an extra `./` component): the
+        // overwrite guard must see through it and refuse before running.
+        let aliased = dir.join(".").join("BENCH_repro.json");
+        let a = args(&format!(
+            "repro --quick --runs 2 --check --golden {} --out {}",
+            golden.display(),
+            aliased.display()
+        ));
+        let err = repro(&a).unwrap_err();
+        assert!(err.contains("refuses to overwrite"), "{err}");
+        // The refusal must happen before anything touched the golden.
+        assert_eq!(std::fs::read_to_string(&golden).unwrap(), "{}");
+        std::fs::remove_file(&golden).ok();
+    }
+
+    #[test]
+    fn repro_golden_without_check_is_an_error() {
+        let a = args("repro --quick --runs 2 --golden /tmp/whatever.json --out none");
+        let err = repro(&a).unwrap_err();
+        assert!(err.contains("--check"), "{err}");
     }
 
     #[test]

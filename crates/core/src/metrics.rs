@@ -104,6 +104,62 @@ impl SimReport {
             / self.total_requests as f64
     }
 
+    /// Load quantile by the nearest-rank definition: the smallest load `l`
+    /// such that at least `⌈q·n⌉` servers carry load `≤ l`.
+    ///
+    /// `q = 0.5` is the median server load, `q = 0.99` the p99, and
+    /// `q = 1.0` equals [`SimReport::max_load`]. Computed by a counting
+    /// pass over the load histogram (O(n + L)), so the repro gates can
+    /// query several quantiles per run without sorting.
+    ///
+    /// # Panics
+    /// If `q ∉ [0, 1]`.
+    pub fn load_quantile(&self, q: f64) -> u32 {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
+        if self.loads.is_empty() {
+            return 0;
+        }
+        let mut counts = vec![0u64; self.max_load() as usize + 1];
+        for &l in &self.loads {
+            counts[l as usize] += 1;
+        }
+        // Nearest rank, clamped to [1, n] so q = 0 returns the minimum.
+        let rank = ((q * self.loads.len() as f64).ceil() as u64).clamp(1, self.loads.len() as u64);
+        let mut seen = 0u64;
+        for (load, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return load as u32;
+            }
+        }
+        unreachable!("cumulative count must reach rank ≤ n")
+    }
+
+    /// Population standard deviation of the per-server load vector.
+    ///
+    /// The paper's theorems bound the *spread* of the allocation; the repro
+    /// gates use this as a scale-free balance measure alongside
+    /// [`SimReport::max_load`].
+    pub fn load_stddev(&self) -> f64 {
+        if self.loads.is_empty() {
+            return 0.0;
+        }
+        let n = self.loads.len() as f64;
+        let mean = self.total_requests as f64 / n;
+        let ss: f64 = self
+            .loads
+            .iter()
+            .map(|&l| {
+                let d = l as f64 - mean;
+                d * d
+            })
+            .sum();
+        (ss / n).sqrt()
+    }
+
     /// Load histogram (bucket = number of requests, count = servers).
     pub fn load_histogram(&self) -> Histogram {
         let mut h = Histogram::with_capacity(self.max_load() as usize + 1);
@@ -191,5 +247,88 @@ mod tests {
         assert_eq!(r.comm_cost(), 0.0);
         assert_eq!(r.fallback_fraction(), 0.0);
         assert!(r.check_conservation());
+        assert_eq!(r.load_quantile(0.5), 0);
+        assert_eq!(r.load_stddev(), 0.0);
+    }
+
+    /// Brute-force nearest-rank quantile on a sorted copy, for cross-checks.
+    fn brute_quantile(loads: &[u32], q: f64) -> u32 {
+        let mut v = loads.to_vec();
+        v.sort_unstable();
+        let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+        v[rank - 1]
+    }
+
+    #[test]
+    fn quantiles_match_sorted_rank() {
+        let mut r = SimReport::new(10);
+        // loads: [4, 1, 0, 2, 0, 0, 1, 0, 0, 0]
+        for (server, times) in [(0u32, 4u32), (1, 1), (3, 2), (6, 1)] {
+            for _ in 0..times {
+                r.record(server, 1, None);
+            }
+        }
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(r.load_quantile(q), brute_quantile(&r.loads, q), "q={q}");
+        }
+        assert_eq!(r.load_quantile(1.0), r.max_load());
+        assert_eq!(r.load_quantile(0.0), 0);
+        assert_eq!(r.load_quantile(0.5), 0); // 6 of 10 servers are idle
+    }
+
+    #[test]
+    fn stddev_matches_two_pass() {
+        let mut r = SimReport::new(4);
+        for (server, times) in [(0u32, 3u32), (1, 1), (2, 2)] {
+            for _ in 0..times {
+                r.record(server, 0, None);
+            }
+        }
+        // loads [3, 1, 2, 0]: mean 1.5, population variance 1.25.
+        assert!((r.load_stddev() - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_and_stddev_survive_merge() {
+        let mut a = SimReport::new(6);
+        let mut b = SimReport::new(6);
+        for s in [0u32, 0, 1, 2, 2, 2] {
+            a.record(s, 1, None);
+        }
+        for s in [3u32, 3, 3, 3, 5, 0] {
+            b.record(s, 2, None);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        // Reference: element-wise summed load vector.
+        let combined: Vec<u32> = a
+            .loads
+            .iter()
+            .zip(b.loads.iter())
+            .map(|(&x, &y)| x + y)
+            .collect();
+        assert_eq!(merged.loads, combined);
+        for q in [0.0, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(
+                merged.load_quantile(q),
+                brute_quantile(&combined, q),
+                "q={q}"
+            );
+        }
+        let n = combined.len() as f64;
+        let mean = combined.iter().map(|&l| l as f64).sum::<f64>() / n;
+        let var = combined
+            .iter()
+            .map(|&l| (l as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        assert!((merged.load_stddev() - var.sqrt()).abs() < 1e-12);
+        assert!(merged.check_conservation());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn quantile_rejects_out_of_range() {
+        let _ = SimReport::new(2).load_quantile(1.5);
     }
 }

@@ -31,4 +31,4 @@ pub mod sweep;
 
 pub use progress::Progress;
 pub use runner::{run_parallel, run_parallel_with_progress, summarize};
-pub use sweep::{sweep, SweepOutcome};
+pub use sweep::{sweep, sweep_summaries, PointSummary, SweepOutcome};

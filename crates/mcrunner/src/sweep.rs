@@ -75,6 +75,75 @@ where
         .collect()
 }
 
+/// Per-point summary of a metric-vector sweep: one [`Summary`] per metric
+/// column, folded in run order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointSummary<P> {
+    /// The parameter value of this point.
+    pub param: P,
+    /// Number of Monte-Carlo runs folded in.
+    pub runs: usize,
+    /// One summary per metric column (in `run_fn` emission order).
+    pub metrics: Vec<Summary>,
+}
+
+/// Seed-streamed variant of [`sweep`] for experiments whose per-run output
+/// is a fixed vector of scalar metrics.
+///
+/// `run_fn(param, run_index, rng, metrics)` runs one replication and writes
+/// its `n_metrics` observations into the provided slice (pre-zeroed). Only
+/// those scalars cross the thread boundary — the run's heavyweight state
+/// (e.g. a per-server load vector) never accumulates, so a sweep over
+/// thousands of seeds at large `n` stays O(points × runs × n_metrics) in
+/// memory instead of O(points × runs × n).
+///
+/// Seeding matches [`sweep`] exactly (`(master_seed, point_index,
+/// run_index)`), and the per-point fold happens sequentially in run order,
+/// so summaries are bit-identical across thread counts.
+pub fn sweep_summaries<P, F>(
+    points: &[P],
+    runs_per_point: usize,
+    n_metrics: usize,
+    master_seed: u64,
+    threads: Option<usize>,
+    verbose: bool,
+    run_fn: F,
+) -> Vec<PointSummary<P>>
+where
+    P: Clone + Sync,
+    F: Fn(&P, usize, &mut SmallRng, &mut [f64]) + Sync,
+{
+    let outcomes = sweep(
+        points,
+        runs_per_point,
+        master_seed,
+        threads,
+        verbose,
+        |p, run, rng| {
+            let mut m = vec![0.0f64; n_metrics];
+            run_fn(p, run, rng, &mut m);
+            m
+        },
+    );
+    outcomes
+        .into_iter()
+        .map(|o| {
+            let mut acc = vec![paba_util::OnlineStats::new(); n_metrics];
+            for run in &o.outputs {
+                debug_assert_eq!(run.len(), n_metrics);
+                for (stats, &x) in acc.iter_mut().zip(run.iter()) {
+                    stats.push(x);
+                }
+            }
+            PointSummary {
+                param: o.param,
+                runs: o.outputs.len(),
+                metrics: acc.iter().map(|s| s.summary()).collect(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +201,39 @@ mod tests {
         let res = sweep(&[1u32, 2], 0, 1, None, false, |_, _, _| 0u32);
         assert_eq!(res.len(), 2);
         assert!(res.iter().all(|o| o.outputs.is_empty()));
+    }
+
+    #[test]
+    fn summaries_match_raw_sweep() {
+        let points = vec![3u64, 5, 9];
+        let raw = sweep(&points, 40, 17, Some(4), false, |p, _run, rng| {
+            let x = rng.gen_range(0..100u64) as f64;
+            (x, x * *p as f64)
+        });
+        let summed = sweep_summaries(&points, 40, 2, 17, Some(4), false, |p, _run, rng, m| {
+            let x = rng.gen_range(0..100u64) as f64;
+            m[0] = x;
+            m[1] = x * *p as f64;
+        });
+        assert_eq!(summed.len(), 3);
+        for (r, s) in raw.iter().zip(summed.iter()) {
+            assert_eq!(r.param, s.param);
+            assert_eq!(s.runs, 40);
+            assert_eq!(s.metrics.len(), 2);
+            let expect0 = r.summarize(|o| o.0);
+            let expect1 = r.summarize(|o| o.1);
+            assert_eq!(s.metrics[0], expect0);
+            assert_eq!(s.metrics[1], expect1);
+        }
+    }
+
+    #[test]
+    fn summaries_deterministic_across_threads() {
+        let f = |p: &u32, _run: usize, rng: &mut SmallRng, m: &mut [f64]| {
+            m[0] = *p as f64 * rng.gen::<f64>();
+        };
+        let a = sweep_summaries(&[1u32, 2, 3], 9, 1, 5, Some(1), false, f);
+        let b = sweep_summaries(&[1u32, 2, 3], 9, 1, 5, Some(8), false, f);
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,570 @@
+//! The versioned `paba-repro/1` artifact: gates + metrics, JSON in and
+//! out, and the statistical golden diff behind `paba repro --check`.
+//!
+//! An artifact is the complete machine-readable output of one suite run:
+//!
+//! * **gates** — the theorem-derived pass/fail assertions, each with its
+//!   standardized statistic, threshold, and an explicit bound on the
+//!   probability that a *broken* (null) implementation would slip past;
+//! * **metrics** — every measured mean with its standard error and run
+//!   count, keyed by a stable id.
+//!
+//! The diff mode compares a fresh artifact against a committed golden
+//! metric-by-metric via the two-sample z-score
+//! `|m_f − m_g| / √(se_f² + se_g²)`, which separates **noise** (an RNG
+//! reshuffle from refactoring moves every mean a little, z stays small)
+//! from **regression** (a behavioral change moves some mean many combined
+//! standard errors, z explodes). Id-set or schema drift is a hard error:
+//! it means the suite itself changed and the golden must be regenerated.
+
+use crate::json::{self, Json};
+use paba_util::envcfg::Scale;
+
+/// Current artifact schema identifier.
+pub const SCHEMA: &str = "paba-repro/1";
+
+/// Default noise/regression boundary for the golden diff: a metric moving
+/// more than this many combined standard errors is flagged. The diff is
+/// two-sided, so at `z = 6` each metric false-alarms with probability
+/// `Pr[|Z| ≥ 6] ≤ 2·e⁻¹⁸ ≈ 3.0·10⁻⁸` (sub-Gaussian bound) — even
+/// hundreds of metrics stay far below any practical flake rate.
+pub const DEFAULT_CHECK_Z: f64 = 6.0;
+
+/// One theorem-derived pass/fail assertion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Gate {
+    /// Stable gate id, e.g. `growth/ordering/nearest-vs-two-rinf`.
+    pub id: String,
+    /// Did the suite pass this gate?
+    pub passed: bool,
+    /// Standardized gate statistic (usually a z-score; a ratio for
+    /// structural gates). Pass iff `statistic ≥ threshold`.
+    pub statistic: f64,
+    /// Pass threshold the statistic is compared against.
+    pub threshold: f64,
+    /// Bound on the probability that a null implementation (one *without*
+    /// the asserted effect) passes — `exp(−threshold²/2)` for z-gates,
+    /// NaN for structural gates where no sampling model applies.
+    pub p_false_pass: f64,
+    /// Human-readable one-line summary of what was measured.
+    pub detail: String,
+}
+
+/// One measured quantity with its Monte-Carlo uncertainty.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    /// Stable metric id, e.g. `growth/nearest/side30/max_load`.
+    pub id: String,
+    /// Sample mean over the runs.
+    pub mean: f64,
+    /// Standard error of the mean (0 for deterministic quantities).
+    pub std_err: f64,
+    /// Number of Monte-Carlo runs behind the mean.
+    pub runs: u64,
+}
+
+/// A complete suite output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Artifact {
+    /// Schema id ([`SCHEMA`]).
+    pub schema: String,
+    /// Master seed the suite ran with.
+    pub seed: u64,
+    /// Scale the suite ran at (`quick` / `default` / `full`).
+    pub scale: String,
+    /// All gates, in suite order.
+    pub gates: Vec<Gate>,
+    /// All metrics, in suite order.
+    pub metrics: Vec<Metric>,
+}
+
+/// Lower-case scale label used in artifacts.
+pub fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "quick",
+        Scale::Default => "default",
+        Scale::Full => "full",
+    }
+}
+
+impl Artifact {
+    /// Did every gate pass?
+    pub fn all_gates_passed(&self) -> bool {
+        self.gates.iter().all(|g| g.passed)
+    }
+
+    /// Serialize to the `paba-repro/1` JSON layout.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"schema\": \"{}\",\n",
+            json::escape(&self.schema)
+        ));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!(
+            "  \"scale\": \"{}\",\n",
+            json::escape(&self.scale)
+        ));
+        s.push_str("  \"gates\": [\n");
+        for (i, g) in self.gates.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"passed\": {}, \"statistic\": {}, \
+                 \"threshold\": {}, \"p_false_pass\": {}, \"detail\": \"{}\"}}{}\n",
+                json::escape(&g.id),
+                g.passed,
+                json::num(g.statistic),
+                json::num(g.threshold),
+                json::num(g.p_false_pass),
+                json::escape(&g.detail),
+                if i + 1 == self.gates.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"mean\": {}, \"std_err\": {}, \"runs\": {}}}{}\n",
+                json::escape(&m.id),
+                json::num(m.mean),
+                json::num(m.std_err),
+                m.runs,
+                if i + 1 == self.metrics.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse an artifact from JSON, validating the schema id.
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        let doc = json::parse(src)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("artifact missing 'schema'")?
+            .to_string();
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported artifact schema '{schema}' (this build reads '{SCHEMA}')"
+            ));
+        }
+        let seed = doc
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("artifact missing integer 'seed'")?;
+        let scale = doc
+            .get("scale")
+            .and_then(Json::as_str)
+            .ok_or("artifact missing 'scale'")?
+            .to_string();
+        let gates = doc
+            .get("gates")
+            .and_then(Json::as_arr)
+            .ok_or("artifact missing 'gates' array")?
+            .iter()
+            .map(parse_gate)
+            .collect::<Result<Vec<_>, _>>()?;
+        let metrics = doc
+            .get("metrics")
+            .and_then(Json::as_arr)
+            .ok_or("artifact missing 'metrics' array")?
+            .iter()
+            .map(parse_metric)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            schema,
+            seed,
+            scale,
+            gates,
+            metrics,
+        })
+    }
+
+    /// Write to `path`, creating parent directories as needed.
+    pub fn write(&self, path: &std::path::Path) -> Result<(), String> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            }
+        }
+        std::fs::write(path, self.to_json()).map_err(|e| format!("writing {}: {e}", path.display()))
+    }
+
+    /// Load and parse from `path`.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Self::from_json(&src).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+fn field<'a>(v: &'a Json, key: &str, what: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or(format!("{what} missing '{key}'"))
+}
+
+fn parse_gate(v: &Json) -> Result<Gate, String> {
+    Ok(Gate {
+        id: field(v, "id", "gate")?
+            .as_str()
+            .ok_or("gate 'id' must be a string")?
+            .to_string(),
+        passed: field(v, "passed", "gate")?
+            .as_bool()
+            .ok_or("gate 'passed' must be a boolean")?,
+        statistic: field(v, "statistic", "gate")?
+            .as_f64()
+            .ok_or("gate 'statistic' must be numeric or null")?,
+        threshold: field(v, "threshold", "gate")?
+            .as_f64()
+            .ok_or("gate 'threshold' must be numeric or null")?,
+        p_false_pass: field(v, "p_false_pass", "gate")?
+            .as_f64()
+            .ok_or("gate 'p_false_pass' must be numeric or null")?,
+        detail: field(v, "detail", "gate")?
+            .as_str()
+            .ok_or("gate 'detail' must be a string")?
+            .to_string(),
+    })
+}
+
+fn parse_metric(v: &Json) -> Result<Metric, String> {
+    Ok(Metric {
+        id: field(v, "id", "metric")?
+            .as_str()
+            .ok_or("metric 'id' must be a string")?
+            .to_string(),
+        mean: field(v, "mean", "metric")?
+            .as_f64()
+            .ok_or("metric 'mean' must be numeric or null")?,
+        std_err: field(v, "std_err", "metric")?
+            .as_f64()
+            .ok_or("metric 'std_err' must be numeric or null")?,
+        runs: field(v, "runs", "metric")?
+            .as_u64()
+            .ok_or("metric 'runs' must be a non-negative integer")?,
+    })
+}
+
+/// One metric's fresh-vs-golden displacement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricDelta {
+    /// The metric id.
+    pub id: String,
+    /// Two-sample z-score of the displacement (`+∞` when a deterministic
+    /// metric changed value).
+    pub z: f64,
+    /// Mean recorded in the golden artifact.
+    pub golden_mean: f64,
+    /// Mean measured by the fresh run.
+    pub fresh_mean: f64,
+}
+
+/// Result of a golden diff.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckReport {
+    /// Number of metric ids compared.
+    pub compared: usize,
+    /// The noise/regression z boundary used.
+    pub z_threshold: f64,
+    /// Metrics whose displacement exceeded the boundary (sorted, worst
+    /// first) — statistically incompatible with pure RNG noise.
+    pub regressions: Vec<MetricDelta>,
+    /// Largest observed displacement (NaN when nothing was compared).
+    pub worst_z: f64,
+    /// Id of the metric with the largest displacement.
+    pub worst_id: String,
+    /// Ids of gates that failed in the fresh run.
+    pub gate_failures: Vec<String>,
+}
+
+impl CheckReport {
+    /// Check verdict: no regressions and every fresh gate passed.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.gate_failures.is_empty()
+    }
+}
+
+/// Diff `fresh` against `golden` within statistical tolerance
+/// (`z_threshold`, see [`DEFAULT_CHECK_Z`]).
+///
+/// Errors (rather than reporting a regression) when the artifacts are not
+/// comparable: different schema or scale, or different metric id sets —
+/// those mean the *suite* changed and the golden must be regenerated, not
+/// that the simulator regressed.
+pub fn check(fresh: &Artifact, golden: &Artifact, z_threshold: f64) -> Result<CheckReport, String> {
+    if fresh.schema != golden.schema {
+        return Err(format!(
+            "schema mismatch: fresh '{}' vs golden '{}'",
+            fresh.schema, golden.schema
+        ));
+    }
+    if fresh.scale != golden.scale {
+        return Err(format!(
+            "scale mismatch: fresh ran at '{}' but the golden was generated at '{}' \
+             (rerun with --scale {} or regenerate the golden)",
+            fresh.scale, golden.scale, golden.scale
+        ));
+    }
+    // Id-set drift — metrics *and* gates — is a hard error: a fresh run
+    // that silently dropped a theorem gate must not report green against
+    // a golden that still records it.
+    let id_drift = |kind: &str, fresh_ids: Vec<&str>, golden_ids: Vec<&str>| {
+        let missing: Vec<&str> = golden_ids
+            .iter()
+            .filter(|id| !fresh_ids.contains(id))
+            .copied()
+            .collect();
+        let extra: Vec<&str> = fresh_ids
+            .iter()
+            .filter(|id| !golden_ids.contains(id))
+            .copied()
+            .collect();
+        if missing.is_empty() && extra.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{kind} id sets differ (suite changed — regenerate the golden): \
+                 missing from fresh: {missing:?}, new in fresh: {extra:?}"
+            ))
+        }
+    };
+    id_drift(
+        "metric",
+        fresh.metrics.iter().map(|m| m.id.as_str()).collect(),
+        golden.metrics.iter().map(|m| m.id.as_str()).collect(),
+    )?;
+    id_drift(
+        "gate",
+        fresh.gates.iter().map(|g| g.id.as_str()).collect(),
+        golden.gates.iter().map(|g| g.id.as_str()).collect(),
+    )?;
+
+    let mut regressions = Vec::new();
+    let mut worst_z = f64::NAN;
+    let mut worst_id = String::new();
+    for g in &golden.metrics {
+        let f = fresh
+            .metrics
+            .iter()
+            .find(|m| m.id == g.id)
+            .expect("id sets verified equal above");
+        let raw = paba_theory::mean_gap_z(f.mean, f.std_err, g.mean, g.std_err).abs();
+        // A NaN displacement means a non-finite mean or standard error on
+        // either side (the writer emits `null` for those). Two NaN means
+        // agree ("still non-finite"); anything else is incomparable and
+        // must read as a regression, never be skipped.
+        let z = if raw.is_nan() {
+            if f.mean.is_nan() && g.mean.is_nan() {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            raw
+        };
+        if worst_z.is_nan() || z > worst_z {
+            worst_z = z;
+            worst_id = g.id.clone();
+        }
+        if z > z_threshold {
+            regressions.push(MetricDelta {
+                id: g.id.clone(),
+                z,
+                golden_mean: g.mean,
+                fresh_mean: f.mean,
+            });
+        }
+    }
+    regressions.sort_by(|a, b| b.z.partial_cmp(&a.z).unwrap_or(std::cmp::Ordering::Equal));
+    let gate_failures = fresh
+        .gates
+        .iter()
+        .filter(|g| !g.passed)
+        .map(|g| g.id.clone())
+        .collect();
+    Ok(CheckReport {
+        compared: golden.metrics.len(),
+        z_threshold,
+        regressions,
+        worst_z,
+        worst_id,
+        gate_failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Artifact {
+        Artifact {
+            schema: SCHEMA.into(),
+            seed: 7,
+            scale: "quick".into(),
+            gates: vec![Gate {
+                id: "g/one".into(),
+                passed: true,
+                statistic: 8.5,
+                threshold: 4.0,
+                p_false_pass: 3.4e-4,
+                detail: "nearest 6.1 vs two-choice 3.2".into(),
+            }],
+            metrics: vec![
+                Metric {
+                    id: "m/a".into(),
+                    mean: 6.1,
+                    std_err: 0.2,
+                    runs: 24,
+                },
+                Metric {
+                    id: "m/b".into(),
+                    mean: 3.2,
+                    std_err: 0.1,
+                    runs: 24,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let a = sample();
+        let parsed = Artifact::from_json(&a.to_json()).unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn round_trip_preserves_nonfinite_as_nan() {
+        let mut a = sample();
+        a.gates[0].p_false_pass = f64::NAN;
+        a.gates[0].statistic = f64::INFINITY;
+        let parsed = Artifact::from_json(&a.to_json()).unwrap();
+        assert!(parsed.gates[0].p_false_pass.is_nan());
+        // ∞ is not representable in JSON: it comes back as NaN (null).
+        assert!(parsed.gates[0].statistic.is_nan());
+    }
+
+    #[test]
+    fn seeds_beyond_f64_precision_round_trip() {
+        let mut a = sample();
+        a.seed = u64::MAX; // would corrupt through an f64 detour
+        let parsed = Artifact::from_json(&a.to_json()).unwrap();
+        assert_eq!(parsed.seed, u64::MAX);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let doc = sample().to_json().replace(SCHEMA, "paba-repro/999");
+        let err = Artifact::from_json(&doc).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn check_accepts_statistical_noise() {
+        let golden = sample();
+        let mut fresh = golden.clone();
+        // Shift each mean by ~1 combined standard error: plain noise.
+        fresh.metrics[0].mean += 0.25;
+        fresh.metrics[1].mean -= 0.12;
+        let rep = check(&fresh, &golden, DEFAULT_CHECK_Z).unwrap();
+        assert!(rep.ok(), "{rep:?}");
+        assert_eq!(rep.compared, 2);
+        assert!(rep.worst_z < 2.0);
+    }
+
+    #[test]
+    fn check_flags_regression() {
+        let golden = sample();
+        let mut fresh = golden.clone();
+        fresh.metrics[0].mean += 5.0; // ≈ 17 combined standard errors
+        let rep = check(&fresh, &golden, DEFAULT_CHECK_Z).unwrap();
+        assert!(!rep.ok());
+        assert_eq!(rep.regressions.len(), 1);
+        assert_eq!(rep.regressions[0].id, "m/a");
+        assert_eq!(rep.worst_id, "m/a");
+        assert!(rep.worst_z > 10.0);
+    }
+
+    #[test]
+    fn check_flags_nonfinite_mean_as_regression() {
+        // A metric whose mean went non-finite (serialized as null → NaN)
+        // is incomparable: it must surface as an infinite-z regression,
+        // not be silently skipped.
+        let golden = sample();
+        let mut fresh = golden.clone();
+        fresh.metrics[0].mean = f64::NAN;
+        let rep = check(&fresh, &golden, DEFAULT_CHECK_Z).unwrap();
+        assert!(!rep.ok());
+        assert_eq!(rep.regressions.len(), 1);
+        assert!(rep.regressions[0].z.is_infinite());
+        // And symmetrically for a doctored/corrupted golden.
+        let rep2 = check(&golden, &fresh, DEFAULT_CHECK_Z).unwrap();
+        assert!(!rep2.ok());
+        // Both sides NaN agree: still non-finite, no regression.
+        let mut both = golden.clone();
+        both.metrics[0].mean = f64::NAN;
+        let rep3 = check(&fresh, &both, DEFAULT_CHECK_Z).unwrap();
+        assert!(rep3.ok(), "{rep3:?}");
+    }
+
+    #[test]
+    fn check_flags_deterministic_metric_change_as_infinite_z() {
+        let mut golden = sample();
+        golden.metrics[1].std_err = 0.0;
+        let mut fresh = golden.clone();
+        fresh.metrics[1].std_err = 0.0;
+        fresh.metrics[1].mean += 1.0;
+        let rep = check(&fresh, &golden, DEFAULT_CHECK_Z).unwrap();
+        assert_eq!(rep.regressions.len(), 1);
+        assert!(rep.regressions[0].z.is_infinite());
+    }
+
+    #[test]
+    fn check_reports_fresh_gate_failures() {
+        let golden = sample();
+        let mut fresh = golden.clone();
+        fresh.gates[0].passed = false;
+        let rep = check(&fresh, &golden, DEFAULT_CHECK_Z).unwrap();
+        assert!(!rep.ok());
+        assert_eq!(rep.gate_failures, vec!["g/one".to_string()]);
+    }
+
+    #[test]
+    fn check_errors_on_id_set_drift() {
+        let golden = sample();
+        let mut fresh = golden.clone();
+        fresh.metrics[0].id = "m/renamed".into();
+        let err = check(&fresh, &golden, DEFAULT_CHECK_Z).unwrap_err();
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn check_errors_on_gate_id_drift() {
+        // A fresh run that silently lost a theorem gate must not pass.
+        let golden = sample();
+        let mut fresh = golden.clone();
+        fresh.gates.clear();
+        let err = check(&fresh, &golden, DEFAULT_CHECK_Z).unwrap_err();
+        assert!(err.contains("gate id sets"), "{err}");
+    }
+
+    #[test]
+    fn check_errors_on_scale_mismatch() {
+        let golden = sample();
+        let mut fresh = golden.clone();
+        fresh.scale = "full".into();
+        assert!(check(&fresh, &golden, DEFAULT_CHECK_Z)
+            .unwrap_err()
+            .contains("scale"));
+    }
+
+    #[test]
+    fn exact_replay_has_zero_displacement() {
+        let golden = sample();
+        let rep = check(&golden.clone(), &golden, DEFAULT_CHECK_Z).unwrap();
+        assert!(rep.ok());
+        assert_eq!(rep.worst_z, 0.0);
+    }
+}

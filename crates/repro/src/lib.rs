@@ -1,0 +1,221 @@
+//! # paba-repro — the statistical paper-reproduction suite.
+//!
+//! Every other crate in this workspace makes the simulator *faster* or
+//! *broader*; this one proves it still *reproduces the paper*. It runs the
+//! headline results of Pourmiri, Jafari Siavoshani & Shariatpanahi (IPDPS
+//! 2017) as parameterized Monte-Carlo sweeps and turns each theorem's
+//! qualitative claim into a **gate**: a standardized statistic with an
+//! explicit threshold and an explicit bound on the probability that a
+//! broken implementation slips past.
+//!
+//! Three experiments (see [`experiments`]):
+//!
+//! 1. **growth** — max load vs `n` for Strategy I, Strategy II at
+//!    `r ∈ {⌈2√(ln n)⌉, const, ∞}`, and least-loaded-in-ball; gates the
+//!    `Θ(log n / log log n)` vs `Θ(log log n)` separation and the
+//!    strategy ordering `nearest ≫ two-choice ≳ least-loaded`.
+//! 2. **tradeoff** — communication cost vs max load across the radius
+//!    ladder; gates the monotone trade-off curve.
+//! 3. **goodness** — Lemma 2's `(δ, µ)`-goodness preconditions on sparse
+//!    proportional placements.
+//!
+//! The suite emits a versioned [`artifact::Artifact`]
+//! (`BENCH_repro.json`, schema `paba-repro/1`), and `--check` diffs a
+//! fresh run against a committed golden within statistical tolerance —
+//! distinguishing RNG-reshuffle *noise* from behavioral *regression*
+//! (see [`artifact::check`]). Every scale/speed PR runs through this
+//! suite in CI.
+
+pub mod artifact;
+pub mod experiments;
+pub mod json;
+
+pub use artifact::{check, Artifact, CheckReport, Gate, Metric, DEFAULT_CHECK_Z, SCHEMA};
+
+use paba_util::envcfg::Scale;
+use paba_util::Table;
+
+/// Configuration of one suite run.
+#[derive(Clone, Copy, Debug)]
+pub struct ReproConfig {
+    /// Grid scale (quick = CI-sized, full = paper-sized).
+    pub scale: Scale,
+    /// Master seed; all experiments derive per-experiment seeds from it.
+    pub seed: u64,
+    /// Override every experiment's Monte-Carlo run count.
+    pub runs_override: Option<usize>,
+    /// Worker threads (`None` = available parallelism).
+    pub threads: Option<usize>,
+    /// Emit sweep progress on stderr.
+    pub verbose: bool,
+}
+
+impl ReproConfig {
+    /// Config at `scale` with the workspace default seed.
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            scale,
+            seed: paba_util::envcfg::DEFAULT_SEED,
+            runs_override: None,
+            threads: None,
+            verbose: false,
+        }
+    }
+
+    /// Resolve a run count: the override if set, else by scale.
+    pub(crate) fn runs(&self, quick: usize, default: usize, full: usize) -> usize {
+        self.runs_override.unwrap_or(match self.scale {
+            Scale::Quick => quick,
+            Scale::Default => default,
+            Scale::Full => full,
+        })
+    }
+}
+
+/// Run the full suite and assemble the artifact.
+pub fn run_suite(cfg: &ReproConfig) -> Artifact {
+    let mut gates = Vec::new();
+    let mut metrics = Vec::new();
+    experiments::growth(cfg, &mut gates, &mut metrics);
+    experiments::tradeoff(cfg, &mut gates, &mut metrics);
+    experiments::goodness(cfg, &mut gates, &mut metrics);
+    Artifact {
+        schema: SCHEMA.into(),
+        seed: cfg.seed,
+        scale: artifact::scale_label(cfg.scale).into(),
+        gates,
+        metrics,
+    }
+}
+
+/// Render the gate results as the standard bench table.
+pub fn gates_table(a: &Artifact) -> Table {
+    let mut t = Table::new(["gate", "passed", "statistic", "threshold", "p(false pass)"]);
+    for g in &a.gates {
+        t.push_row([
+            g.id.clone(),
+            if g.passed { "yes" } else { "NO" }.to_string(),
+            format!("{:.3}", g.statistic),
+            format!("{:.3}", g.threshold),
+            if g.p_false_pass.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.2e}", g.p_false_pass)
+            },
+        ]);
+    }
+    t
+}
+
+/// Render the golden-diff outcome as a table (worst displacements first).
+pub fn check_table(rep: &CheckReport) -> Table {
+    let mut t = Table::new(["check", "value"]);
+    t.push_row(["metrics compared".to_string(), format!("{}", rep.compared)]);
+    t.push_row([
+        "noise/regression z".to_string(),
+        format!("{:.1}", rep.z_threshold),
+    ]);
+    t.push_row([
+        "worst displacement".to_string(),
+        if rep.worst_z.is_nan() {
+            "-".to_string()
+        } else {
+            format!("z={:.2} ({})", rep.worst_z, rep.worst_id)
+        },
+    ]);
+    t.push_row([
+        "regressions".to_string(),
+        format!("{}", rep.regressions.len()),
+    ]);
+    for d in rep.regressions.iter().take(10) {
+        t.push_row([
+            format!("  {}", d.id),
+            format!(
+                "golden {:.4} → fresh {:.4} (z={:.1})",
+                d.golden_mean, d.fresh_mean, d.z
+            ),
+        ]);
+    }
+    t.push_row([
+        "fresh gate failures".to_string(),
+        if rep.gate_failures.is_empty() {
+            "none".to_string()
+        } else {
+            rep.gate_failures.join(", ")
+        },
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The quick suite itself, end to end: every gate must pass, the
+    /// artifact must round-trip, and a self-check against its own output
+    /// must be clean. This is the crate's own tier-1 anchor; CI's
+    /// `repro-smoke` job additionally diffs against the committed golden.
+    #[test]
+    fn quick_suite_passes_and_round_trips() {
+        let mut cfg = ReproConfig::new(Scale::Quick);
+        // Trim runs for test wall-clock; gates are designed to clear
+        // their thresholds with margin even at reduced replication.
+        cfg.runs_override = Some(12);
+        let a = run_suite(&cfg);
+        for g in &a.gates {
+            assert!(
+                g.passed,
+                "gate {} failed: statistic {:.3} < threshold {:.3} ({})",
+                g.id, g.statistic, g.threshold, g.detail
+            );
+        }
+        assert!(!a.metrics.is_empty());
+        // Metric ids are unique.
+        let mut ids: Vec<&str> = a.metrics.iter().map(|m| m.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), a.metrics.len(), "duplicate metric ids");
+
+        // Round trip compared via JSON: `Artifact` equality is NaN-hostile
+        // (structural gates carry a NaN false-pass bound, and NaN ≠ NaN).
+        let round = Artifact::from_json(&a.to_json()).unwrap();
+        assert_eq!(round.to_json(), a.to_json());
+
+        let rep = check(&a, &round, DEFAULT_CHECK_Z).unwrap();
+        assert!(rep.ok());
+        assert_eq!(rep.worst_z, 0.0);
+
+        // Tables render without panicking and carry every gate.
+        assert_eq!(gates_table(&a).to_csv().lines().count(), a.gates.len() + 1);
+        let _ = check_table(&rep).to_markdown();
+    }
+
+    #[test]
+    fn suite_is_deterministic_in_seed_and_thread_count() {
+        let mut cfg = ReproConfig::new(Scale::Quick);
+        cfg.runs_override = Some(3);
+        cfg.threads = Some(1);
+        let a = run_suite(&cfg);
+        cfg.threads = Some(8);
+        let b = run_suite(&cfg);
+        // JSON form: bitwise-identical output, NaN fields included.
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn different_seeds_move_metrics_within_noise() {
+        // The whole premise of --check: an RNG reshuffle (here: a
+        // different master seed) must pass the statistical diff.
+        let mut cfg = ReproConfig::new(Scale::Quick);
+        cfg.runs_override = Some(12);
+        let a = run_suite(&cfg);
+        cfg.seed = cfg.seed.wrapping_add(1);
+        let b = run_suite(&cfg);
+        let rep = check(&b, &a, DEFAULT_CHECK_Z).unwrap();
+        assert!(
+            rep.ok(),
+            "seed change must read as noise: {:?}",
+            rep.regressions
+        );
+    }
+}

@@ -50,6 +50,45 @@ pub fn tolerance_for(mu: f64, p_fail: f64) -> f64 {
     ((3.0 * (2.0 / p_fail).ln()) / mu).sqrt().min(1.0)
 }
 
+/// Sub-Gaussian tail bound `Pr[Z ≥ z] ≤ exp(−z²/2)` for a standardized
+/// (mean 0, variance ≤ 1) statistic.
+///
+/// The repro gates compare Monte-Carlo means via their z-score and report
+/// this bound as the gate's explicit failure probability: a *correct*
+/// implementation (different RNG stream, same distribution) trips a gate
+/// requiring `z ≥ z₀` with probability at most `exp(−z₀²/2)`.
+///
+/// Returns 1 for `z ≤ 0` (the bound is vacuous there).
+pub fn z_tail_bound(z: f64) -> f64 {
+    if z <= 0.0 {
+        1.0
+    } else {
+        (-z * z / 2.0).exp()
+    }
+}
+
+/// Standardized gap between two independent sample means:
+/// `z = (m₁ − m₂) / √(se₁² + se₂²)`.
+///
+/// Positive when `m₁ > m₂`. Degenerate standard errors (both zero — e.g.
+/// a deterministic metric) give `+∞`/`−∞`/`0` by the sign of the gap, so
+/// exact-tie comparisons stay well-defined.
+pub fn mean_gap_z(m1: f64, se1: f64, m2: f64, se2: f64) -> f64 {
+    let gap = m1 - m2;
+    let scale = (se1 * se1 + se2 * se2).sqrt();
+    if scale == 0.0 {
+        if gap == 0.0 {
+            0.0
+        } else if gap > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        gap / scale
+    }
+}
+
 /// Binomial standard deviation `√(n·p·(1−p))`, the normal-approximation
 /// scale used in sampler tests.
 pub fn binomial_sigma(n: f64, p: f64) -> f64 {
@@ -107,5 +146,29 @@ mod tests {
     #[should_panic(expected = "δ must be in (0,1)")]
     fn invalid_delta_panics() {
         let _ = chernoff_upper(10.0, 1.5);
+    }
+
+    #[test]
+    fn z_tail_bound_shape() {
+        assert_eq!(z_tail_bound(0.0), 1.0);
+        assert_eq!(z_tail_bound(-3.0), 1.0);
+        assert!(z_tail_bound(2.0) < z_tail_bound(1.0));
+        // z = 4 → ≤ e⁻⁸ ≈ 3.4e-4; z = 6 → ≤ e⁻¹⁸ ≈ 1.5e-8.
+        assert!(z_tail_bound(4.0) < 4e-4);
+        assert!(z_tail_bound(6.0) < 2e-8);
+    }
+
+    #[test]
+    fn mean_gap_z_known_values() {
+        // gap 1.0, combined se √(0.3² + 0.4²) = 0.5 → z = 2.
+        assert!((mean_gap_z(3.0, 0.3, 2.0, 0.4) - 2.0).abs() < 1e-12);
+        assert!((mean_gap_z(2.0, 0.4, 3.0, 0.3) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_gap_z_degenerate_ses() {
+        assert_eq!(mean_gap_z(5.0, 0.0, 5.0, 0.0), 0.0);
+        assert_eq!(mean_gap_z(6.0, 0.0, 5.0, 0.0), f64::INFINITY);
+        assert_eq!(mean_gap_z(4.0, 0.0, 5.0, 0.0), f64::NEG_INFINITY);
     }
 }

@@ -1,0 +1,173 @@
+//! Asymptotic-shape fits: regress measured quantities against the paper's
+//! leading-order predictors.
+//!
+//! The growth-separation gate of the repro suite does not try to measure
+//! an exponent from four or five points — at reachable `n` the constants
+//! dominate. Instead it fits each strategy's measured max load *linearly
+//! against a theorem's predictor* (`ln n / ln ln n` for Strategy I /
+//! one-choice, `ln ln n` for Strategy II / two-choice) using
+//! [`paba_util::fit_line`], and compares the fitted **slopes**: a
+//! `Θ(log n / log log n)` curve has a positive, significant slope against
+//! the one-choice predictor, while a `Θ(log log n)` curve is nearly flat
+//! against it. The slope *difference*, standardized by the fits' standard
+//! errors, is the separation statistic.
+
+use crate::asymptotics::{one_choice_max_load, two_choice_max_load};
+use paba_util::{fit_line, LineFit};
+
+/// Fit `y ≈ a + b·predictor(n)` over `(n, y)` observations.
+///
+/// Points where the predictor is non-finite (e.g. `n ≤ e` for the
+/// log-log laws) are skipped. `None` when fewer than two usable points
+/// remain — same contract as [`paba_util::fit_line`].
+pub fn fit_vs_predictor<F: Fn(f64) -> f64>(points: &[(f64, f64)], predictor: F) -> Option<LineFit> {
+    let mapped: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(n, y)| (predictor(n), y))
+        .filter(|&(x, _)| x.is_finite())
+        .collect();
+    fit_line(&mapped)
+}
+
+/// Fit measured values against the one-choice scale `ln n / ln ln n`
+/// (Theorems 1–2's growth law for Strategy I).
+pub fn fit_vs_one_choice_scale(points: &[(f64, f64)]) -> Option<LineFit> {
+    fit_vs_predictor(points, one_choice_max_load)
+}
+
+/// Fit measured values against the two-choice scale `ln ln n / ln 2`
+/// (Theorems 4/6's growth law for Strategy II).
+pub fn fit_vs_two_choice_scale(points: &[(f64, f64)]) -> Option<LineFit> {
+    fit_vs_predictor(points, two_choice_max_load)
+}
+
+/// [`fit_vs_predictor`] with *known per-point standard errors*: the
+/// returned `slope_std_err` is propagated from the points' Monte-Carlo
+/// uncertainty instead of estimated from residuals.
+///
+/// With `y_i` independent and `se_i` known, the OLS slope
+/// `b = Σ(x_i−x̄)y_i / Σ(x_i−x̄)²` has
+/// `Var(b) = Σ((x_i−x̄)·se_i)² / (Σ(x_i−x̄)²)²` exactly. Residual-based
+/// errors on a handful of sweep points are dominated by chance alignment;
+/// propagation quantifies the actual sampling noise of the means, which is
+/// what a repro gate's z-score should standardize by. (It does *not*
+/// absorb model misfit — the gates compare slopes between strategies under
+/// a common predictor, so shared curvature cancels.)
+///
+/// # Panics
+/// If `points` and `std_errs` lengths differ.
+pub fn fit_vs_predictor_with_errors<F: Fn(f64) -> f64>(
+    points: &[(f64, f64)],
+    std_errs: &[f64],
+    predictor: F,
+) -> Option<LineFit> {
+    assert_eq!(points.len(), std_errs.len(), "one standard error per point");
+    let mapped: Vec<((f64, f64), f64)> = points
+        .iter()
+        .zip(std_errs.iter())
+        .map(|(&(n, y), &se)| ((predictor(n), y), se))
+        .filter(|&((x, _), _)| x.is_finite())
+        .collect();
+    let xy: Vec<(f64, f64)> = mapped.iter().map(|&(p, _)| p).collect();
+    let mut fit = fit_line(&xy)?;
+    let mean_x = xy.iter().map(|p| p.0).sum::<f64>() / xy.len() as f64;
+    let sxx: f64 = xy.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    let var: f64 = mapped
+        .iter()
+        .map(|&((x, _), se)| ((x - mean_x) * se).powi(2))
+        .sum::<f64>()
+        / (sxx * sxx);
+    fit.slope_std_err = var.sqrt();
+    Some(fit)
+}
+
+/// Standardized slope difference between two independent line fits:
+/// `z = (b₁ − b₂) / √(se₁² + se₂²)`.
+///
+/// Positive when `a` grows faster than `b` against the common predictor.
+/// Degenerate (both-zero) standard errors resolve by the sign of the gap,
+/// mirroring [`crate::bounds::mean_gap_z`].
+pub fn slope_gap_z(a: &LineFit, b: &LineFit) -> f64 {
+    crate::bounds::mean_gap_z(a.slope, a.slope_std_err, b.slope, b.slope_std_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ladder of n values spanning three decades.
+    fn ns() -> Vec<f64> {
+        vec![1e2, 1e3, 1e4, 1e5, 1e6]
+    }
+
+    #[test]
+    fn recovers_one_choice_shape() {
+        // y = 3 + 2·(ln n / ln ln n), exactly.
+        let pts: Vec<(f64, f64)> = ns()
+            .into_iter()
+            .map(|n| (n, 3.0 + 2.0 * one_choice_max_load(n)))
+            .collect();
+        let fit = fit_vs_one_choice_scale(&pts).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-9);
+        assert!((fit.intercept - 3.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn one_choice_curve_outgrows_two_choice_curve() {
+        // A Θ(ln n/ln ln n) curve vs a Θ(ln ln n) curve, both fitted
+        // against the one-choice predictor: slopes must separate. The
+        // ladder spans enough decades for the asymptotic shapes to
+        // dominate the finite-n constants.
+        let wide = [1e2, 1e4, 1e8, 1e16, 1e32];
+        let grow: Vec<(f64, f64)> = wide
+            .into_iter()
+            .map(|n| (n, 1.5 * one_choice_max_load(n)))
+            .collect();
+        let flat: Vec<(f64, f64)> = wide
+            .into_iter()
+            .map(|n| (n, 1.5 * two_choice_max_load(n)))
+            .collect();
+        let f_grow = fit_vs_one_choice_scale(&grow).unwrap();
+        let f_flat = fit_vs_one_choice_scale(&flat).unwrap();
+        assert!(f_grow.slope > 2.0 * f_flat.slope.max(0.0));
+        assert!(slope_gap_z(&f_grow, &f_flat) > 3.0);
+    }
+
+    #[test]
+    fn skips_tiny_n_where_predictor_is_nan() {
+        let pts = [(2.0, 1.0), (1e3, 2.0), (1e6, 3.0)];
+        let fit = fit_vs_one_choice_scale(&pts).unwrap();
+        assert_eq!(fit.n, 2); // n = 2 dropped (ln ln 2 < 0)
+    }
+
+    #[test]
+    fn too_few_usable_points_is_none() {
+        assert!(fit_vs_one_choice_scale(&[(2.0, 1.0), (2.5, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn propagated_error_matches_hand_computation() {
+        // Identity predictor, xs {0,1,2}, equal se = 0.3:
+        // sxx = 2, Var(b) = (1·0.09 + 0 + 1·0.09)/4 = 0.045.
+        let pts = [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)];
+        let fit = fit_vs_predictor_with_errors(&pts, &[0.3, 0.3, 0.3], |n| n).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.slope_std_err - 0.045f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagated_error_shrinks_with_point_precision() {
+        let pts: Vec<(f64, f64)> = ns().into_iter().map(|n| (n, n.ln())).collect();
+        let loose = fit_vs_predictor_with_errors(&pts, &[0.5; 5], |n| n.ln()).unwrap();
+        let tight = fit_vs_predictor_with_errors(&pts, &[0.05; 5], |n| n.ln()).unwrap();
+        assert_eq!(loose.slope, tight.slope);
+        assert!((loose.slope_std_err / tight.slope_std_err - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one standard error per point")]
+    fn mismatched_error_arity_panics() {
+        let _ = fit_vs_predictor_with_errors(&[(1.0, 1.0)], &[0.1, 0.2], |n| n);
+    }
+}

@@ -16,16 +16,25 @@
 //! * [`goodness`] — Lemma 2's placement-goodness parameters
 //!   `δ = (1−α)/3`, `µ ≥ 5/(1−2α)` and expected distinct/overlap counts.
 //! * [`bounds`] — the Appendix A tail bounds (Chernoff forms) used to set
-//!   statistical tolerances in the test suite.
+//!   statistical tolerances in the test suite, plus the z-score helpers
+//!   the repro gates standardize mean comparisons with.
+//! * [`fits`] — regressions of measured quantities against the theorems'
+//!   asymptotic predictors (the growth-separation statistic).
 
 pub mod asymptotics;
 pub mod bounds;
+pub mod fits;
 pub mod goodness;
 pub mod zipf;
 
 pub use asymptotics::{
     d_choice_max_load, kp_max_load_bound, one_choice_max_load, theorem4_condition_met,
     theorem4_min_beta, two_choice_max_load,
+};
+pub use bounds::{mean_gap_z, z_tail_bound};
+pub use fits::{
+    fit_vs_one_choice_scale, fit_vs_predictor, fit_vs_predictor_with_errors,
+    fit_vs_two_choice_scale, slope_gap_z,
 };
 pub use goodness::{expected_distinct_files, expected_overlap, goodness_delta, goodness_mu};
 pub use zipf::{

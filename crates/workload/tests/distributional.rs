@@ -1,0 +1,229 @@
+//! Distributional correctness of the synthetic request sources, mirroring
+//! the sampler χ² suite in `paba-core`:
+//!
+//! * **χ² goodness-of-fit** — [`ZipfOrigins`] and [`HotspotOrigins`] must
+//!   realize their *stated* origin distributions, not merely "look
+//!   skewed". Tolerances come from the χ² normal approximation
+//!   (`df + 3·√(2·df)`, false-positive rate ≈ 0.1%).
+//! * **Phase-boundary determinism** — [`FlashCrowd`] and
+//!   [`ShiftingPopularity`] are *time-inhomogeneous*; their phase
+//!   switches must happen at exactly the configured request index and the
+//!   stream before a boundary must be bit-identical to a source whose
+//!   boundary lies in the far future.
+
+use paba_core::{CacheNetwork, Placement, RequestSource};
+use paba_popularity::empirical::{chi_squared_critical, FrequencyCounter};
+use paba_popularity::Popularity;
+use paba_topology::Torus;
+use paba_workload::{FlashCrowd, HotspotOrigins, ShiftingPopularity, ZipfOrigins};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Fully replicated network: the uncached policy never interferes, so the
+/// observed stream is the source's pure distribution.
+fn full_net(side: u32, k: u32, pop: Popularity) -> CacheNetwork<Torus> {
+    let topo = Torus::new(side);
+    let library = paba_core::Library::new(k, pop);
+    let placement = Placement::full(side * side, k);
+    CacheNetwork::from_parts(topo, library, placement)
+}
+
+#[test]
+fn zipf_origins_match_zipf_law_chi_squared() {
+    let side = 10u32;
+    let n = side * side;
+    let gamma = 1.0f64;
+    let net = full_net(side, 8, Popularity::Uniform);
+    let mut src = ZipfOrigins::new(gamma);
+    let mut rng = SmallRng::seed_from_u64(20170529);
+    let mut counts = FrequencyCounter::new(n);
+    let trials = 200_000u32;
+    for _ in 0..trials {
+        counts.record(src.next_request(&net, &mut rng).origin);
+    }
+    let h: f64 = (1..=n as u64).map(|i| (i as f64).powf(-gamma)).sum();
+    let expected: Vec<f64> = (1..=n as u64)
+        .map(|i| (i as f64).powf(-gamma) / h)
+        .collect();
+    let stat = counts.chi_squared(&expected);
+    let crit = chi_squared_critical(n as usize - 1);
+    assert!(stat < crit, "χ²={stat:.1} ≥ critical {crit:.1}");
+}
+
+#[test]
+fn zipf_origins_gamma_zero_is_uniform_chi_squared() {
+    let side = 8u32;
+    let n = side * side;
+    let net = full_net(side, 4, Popularity::Uniform);
+    let mut src = ZipfOrigins::new(0.0);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut counts = FrequencyCounter::new(n);
+    for _ in 0..100_000 {
+        counts.record(src.next_request(&net, &mut rng).origin);
+    }
+    let stat = counts.chi_squared(&vec![1.0 / n as f64; n as usize]);
+    let crit = chi_squared_critical(n as usize - 1);
+    assert!(stat < crit, "χ²={stat:.1} ≥ critical {crit:.1}");
+}
+
+#[test]
+fn hotspot_origins_uniform_over_ball_chi_squared() {
+    // fraction = 1: every origin is uniform over the radius-2 ball of the
+    // single center. Cells outside the ball have zero expectation, so a
+    // single stray origin makes the statistic infinite — the test also
+    // pins the support.
+    let side = 20u32;
+    let n = side * side;
+    let (center, radius) = (57u32, 2u32);
+    let net = full_net(side, 8, Popularity::Uniform);
+    let topo = Torus::new(side);
+    let ball = topo.ball_size(radius);
+    let mut expected = vec![0.0f64; n as usize];
+    topo.for_each_in_ball(center, radius, |v| {
+        expected[v as usize] = 1.0 / ball as f64;
+    });
+    let mut src = HotspotOrigins::new(vec![center], radius, 1.0);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut counts = FrequencyCounter::new(n);
+    for _ in 0..50_000 {
+        counts.record(src.next_request(&net, &mut rng).origin);
+    }
+    let stat = counts.chi_squared(&expected);
+    let crit = chi_squared_critical(ball as usize - 1);
+    assert!(stat < crit, "χ²={stat:.1} ≥ critical {crit:.1}");
+}
+
+#[test]
+fn hotspot_origins_mixture_matches_fraction_chi_squared() {
+    // fraction = 0.6 mixes ball-uniform with global-uniform; the exact
+    // per-node law is 0.6/|B| + 0.4/n inside the ball, 0.4/n outside.
+    let side = 12u32;
+    let n = side * side;
+    let (center, radius, fraction) = (0u32, 3u32, 0.6f64);
+    let net = full_net(side, 8, Popularity::Uniform);
+    let topo = Torus::new(side);
+    let ball = topo.ball_size(radius) as f64;
+    let mut expected = vec![(1.0 - fraction) / n as f64; n as usize];
+    topo.for_each_in_ball(center, radius, |v| {
+        expected[v as usize] += fraction / ball;
+    });
+    let mut src = HotspotOrigins::new(vec![center], radius, fraction);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut counts = FrequencyCounter::new(n);
+    for _ in 0..150_000 {
+        counts.record(src.next_request(&net, &mut rng).origin);
+    }
+    let stat = counts.chi_squared(&expected);
+    let crit = chi_squared_critical(n as usize - 1);
+    assert!(stat < crit, "χ²={stat:.1} ≥ critical {crit:.1}");
+}
+
+#[test]
+fn flash_crowd_pre_window_stream_is_boundary_exact() {
+    // Before `start` the boosted source must be *bit-identical* to one
+    // whose window lies in the far future: the boost draw may not touch
+    // the RNG stream a single request early.
+    let net = full_net(10, 40, Popularity::zipf(0.8));
+    let start = 500u64;
+    let mut boosted = FlashCrowd::new(3, start, 200, 80.0, 0.0);
+    let mut baseline = FlashCrowd::new(3, u64::MAX, 200, 80.0, 0.0);
+    let mut rng_a = SmallRng::seed_from_u64(9);
+    let mut rng_b = SmallRng::seed_from_u64(9);
+    for t in 0..start {
+        let a = boosted.next_request(&net, &mut rng_a);
+        let b = baseline.next_request(&net, &mut rng_b);
+        assert_eq!(a, b, "streams diverged at t={t} < start={start}");
+    }
+    // The very next request enters the window: from here the streams are
+    // allowed to (and, at boost 80 on a popular file, will) diverge.
+    let mut diverged = false;
+    for _ in start..start + 50 {
+        let a = boosted.next_request(&net, &mut rng_a);
+        let b = baseline.next_request(&net, &mut rng_b);
+        diverged |= a != b;
+    }
+    assert!(diverged, "boost window had no observable effect");
+}
+
+#[test]
+fn flash_crowd_window_rate_matches_renormalized_boost() {
+    // Inside the window, P[hot] = b·w / (1 − w + b·w) exactly; check the
+    // realized rate within 4 binomial standard deviations (false-positive
+    // probability ≈ 6·10⁻⁵).
+    let k = 50u32;
+    let net = full_net(12, k, Popularity::zipf(0.8));
+    let (hot, boost) = (5u32, 40.0f64);
+    let w = net.library().probability(hot);
+    let p_hot = boost * w / (1.0 - w + boost * w);
+    let mut src = FlashCrowd::new(hot, 0, u64::MAX, boost, 0.0);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let trials = 60_000u64;
+    let mut hits = 0u64;
+    for _ in 0..trials {
+        if src.next_request(&net, &mut rng).file == hot {
+            hits += 1;
+        }
+    }
+    let sigma = (trials as f64 * p_hot * (1.0 - p_hot)).sqrt();
+    let dev = (hits as f64 - trials as f64 * p_hot).abs();
+    assert!(
+        dev < 4.0 * sigma,
+        "hot rate {:.4} vs predicted {p_hot:.4} ({dev:.0} > 4σ={:.0})",
+        hits as f64 / trials as f64,
+        4.0 * sigma
+    );
+}
+
+#[test]
+fn flash_crowd_tau_zero_reverts_exactly_at_window_end() {
+    let src = FlashCrowd::new(0, 100, 50, 30.0, 0.0);
+    assert_eq!(src.boost_at(99), 1.0);
+    assert_eq!(src.boost_at(100), 30.0);
+    assert_eq!(src.boost_at(149), 30.0);
+    assert_eq!(src.boost_at(150), 1.0, "hard stop must be boundary-exact");
+}
+
+#[test]
+fn shifting_popularity_rotates_exactly_at_epoch_boundary() {
+    let k = 10u32;
+    let (epoch, step) = (100u64, 3u32);
+    let net = full_net(8, k, Popularity::zipf(1.0));
+    let mut src = ShiftingPopularity::new(epoch, step);
+    let mut rng = SmallRng::seed_from_u64(5);
+    // Requests 0..epoch: rank 0 still maps to file 0.
+    for _ in 0..epoch - 1 {
+        let _ = src.next_request(&net, &mut rng);
+        assert_eq!(src.file_at_rank(0, k), 0);
+    }
+    // The epoch-th request crosses the boundary: mapping advances by step.
+    let _ = src.next_request(&net, &mut rng);
+    assert_eq!(src.file_at_rank(0, k), step);
+    // And holds for the whole next epoch.
+    for _ in 0..epoch - 1 {
+        let _ = src.next_request(&net, &mut rng);
+        assert_eq!(src.file_at_rank(0, k), step);
+    }
+    let _ = src.next_request(&net, &mut rng);
+    assert_eq!(src.file_at_rank(0, k), 2 * step % k);
+}
+
+#[test]
+fn time_varying_sources_are_deterministic_given_seed() {
+    let net = full_net(9, 20, Popularity::zipf(0.9));
+    for seed in [1u64, 7, 42] {
+        let mut a = FlashCrowd::new(2, 30, 40, 25.0, 8.0);
+        let mut b = FlashCrowd::new(2, 30, 40, 25.0, 8.0);
+        let mut ra = SmallRng::seed_from_u64(seed);
+        let mut rb = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            assert_eq!(a.next_request(&net, &mut ra), b.next_request(&net, &mut rb));
+        }
+        let mut a = ShiftingPopularity::new(50, 2);
+        let mut b = ShiftingPopularity::new(50, 2);
+        let mut ra = SmallRng::seed_from_u64(seed);
+        let mut rb = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            assert_eq!(a.next_request(&net, &mut ra), b.next_request(&net, &mut rb));
+        }
+    }
+}

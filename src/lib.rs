@@ -24,6 +24,7 @@
 //! | [`ballsbins`] | `paba-ballsbins` | one/two/d-choice, graph-based two-choice baselines |
 //! | [`theory`] | `paba-theory` | the paper's closed-form predictions |
 //! | [`mcrunner`] | `paba-mcrunner` | deterministic parallel Monte-Carlo driver |
+//! | [`repro`] | `paba-repro` | theorem-gated reproduction suite + golden artifacts |
 //! | [`supermarket`] | `paba-supermarket` | continuous-time queueing extension (§VI) |
 //! | [`workload`] | `paba-workload` | pluggable request sources, trace record/replay |
 //!
@@ -63,6 +64,7 @@ pub use paba_core as core;
 pub use paba_dht as dht;
 pub use paba_mcrunner as mcrunner;
 pub use paba_popularity as popularity;
+pub use paba_repro as repro;
 pub use paba_supermarket as supermarket;
 pub use paba_theory as theory;
 pub use paba_topology as topology;

@@ -1,8 +1,13 @@
 //! Statistical cross-strategy orderings — the paper's qualitative claims
 //! as executable assertions (averaged over enough seeds that a correct
 //! implementation fails with negligible probability).
+//!
+//! Seed counts honour `PABA_TEST_RUNS` (see
+//! [`paba::util::envcfg::test_runs`]): defaults are unchanged when unset,
+//! CI's quick tier can lower them, nightly can raise them.
 
 use paba::prelude::*;
+use paba::util::envcfg::test_runs;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -52,8 +57,9 @@ fn run_strategy(
 #[test]
 fn two_choice_balances_better_given_replication() {
     // Well-replicated regime (nM/K = 40): the paper's headline ordering.
-    let near = average(24, |s| run_strategy(s, 20, 50, 5, "nearest", None));
-    let two = average(24, |s| run_strategy(1_000 + s, 20, 50, 5, "two", None));
+    let runs = test_runs(24);
+    let near = average(runs, |s| run_strategy(s, 20, 50, 5, "nearest", None));
+    let two = average(runs, |s| run_strategy(1_000 + s, 20, 50, 5, "two", None));
     assert!(
         two.load < near.load - 0.5,
         "two-choice {:.2} should beat nearest {:.2}",
@@ -65,9 +71,10 @@ fn two_choice_balances_better_given_replication() {
 #[test]
 fn nearest_has_minimal_cost() {
     // No strategy can undercut nearest-replica communication cost.
-    let near = average(16, |s| run_strategy(s, 20, 100, 4, "nearest", None));
-    let two_r = average(16, |s| run_strategy(500 + s, 20, 100, 4, "two", Some(4)));
-    let two_inf = average(16, |s| run_strategy(900 + s, 20, 100, 4, "two", None));
+    let runs = test_runs(16);
+    let near = average(runs, |s| run_strategy(s, 20, 100, 4, "nearest", None));
+    let two_r = average(runs, |s| run_strategy(500 + s, 20, 100, 4, "two", Some(4)));
+    let two_inf = average(runs, |s| run_strategy(900 + s, 20, 100, 4, "two", None));
     assert!(
         near.cost <= two_r.cost + 0.05,
         "{} vs {}",
@@ -86,9 +93,10 @@ fn nearest_has_minimal_cost() {
 fn radius_interpolates_cost_monotonically() {
     // Larger radius → more freedom → higher cost (statistically), while
     // max load weakly improves.
-    let r2 = average(20, |s| run_strategy(s, 18, 40, 8, "two", Some(2)));
-    let r5 = average(20, |s| run_strategy(s, 18, 40, 8, "two", Some(5)));
-    let rinf = average(20, |s| run_strategy(s, 18, 40, 8, "two", None));
+    let runs = test_runs(20);
+    let r2 = average(runs, |s| run_strategy(s, 18, 40, 8, "two", Some(2)));
+    let r5 = average(runs, |s| run_strategy(s, 18, 40, 8, "two", Some(5)));
+    let rinf = average(runs, |s| run_strategy(s, 18, 40, 8, "two", None));
     assert!(r2.cost < r5.cost && r5.cost < rinf.cost);
     assert!(rinf.load <= r2.load + 0.3);
 }
@@ -99,8 +107,9 @@ fn memory_starved_regime_annihilates_two_choice_gain() {
     // same single replica, so Strategy II degenerates toward Strategy I.
     let side = 20u32;
     let n = side * side;
-    let near = average(24, |s| run_strategy(s, side, n, 1, "nearest", None));
-    let two = average(24, |s| run_strategy(3_000 + s, side, n, 1, "two", None));
+    let runs = test_runs(24);
+    let near = average(runs, |s| run_strategy(s, side, n, 1, "nearest", None));
+    let two = average(runs, |s| run_strategy(3_000 + s, side, n, 1, "two", None));
     assert!(
         (two.load - near.load).abs() < 1.0,
         "memory-starved two-choice {:.2} should track nearest {:.2}",
@@ -114,8 +123,9 @@ fn strategy_ii_cost_tracks_radius() {
     // Theorem 4's C = Θ(r): doubling r roughly doubles the cost while the
     // ball still has plenty of replicas.
     let side = 30u32;
-    let r4 = average(16, |s| run_strategy(s, side, 20, 10, "two", Some(4)));
-    let r8 = average(16, |s| run_strategy(s, side, 20, 10, "two", Some(8)));
+    let runs = test_runs(16);
+    let r4 = average(runs, |s| run_strategy(s, side, 20, 10, "two", Some(4)));
+    let r8 = average(runs, |s| run_strategy(s, side, 20, 10, "two", Some(8)));
     let ratio = r8.cost / r4.cost;
     assert!(
         (1.5..=2.5).contains(&ratio),
@@ -126,8 +136,9 @@ fn strategy_ii_cost_tracks_radius() {
 #[test]
 fn full_replication_minimizes_load_among_cache_sizes() {
     // More memory (at fixed K) can only help Strategy II.
-    let m1 = average(20, |s| run_strategy(s, 16, 64, 1, "two", None));
-    let m16 = average(20, |s| run_strategy(7_000 + s, 16, 64, 16, "two", None));
+    let runs = test_runs(20);
+    let m1 = average(runs, |s| run_strategy(s, 16, 64, 1, "two", None));
+    let m16 = average(runs, |s| run_strategy(7_000 + s, 16, 64, 16, "two", None));
     assert!(
         m16.load <= m1.load,
         "M=16 load {:.2} should be ≤ M=1 load {:.2}",
