@@ -61,7 +61,8 @@ pub struct ThroughputPoint {
 }
 
 impl ThroughputPoint {
-    fn popularity(&self) -> Popularity {
+    /// Popularity profile implied by `gamma`.
+    pub fn popularity(&self) -> Popularity {
         if self.gamma == 0.0 {
             Popularity::Uniform
         } else {
@@ -69,7 +70,8 @@ impl ThroughputPoint {
         }
     }
 
-    fn policy(&self) -> PlacementPolicy {
+    /// Placement policy implied by `full`.
+    pub fn policy(&self) -> PlacementPolicy {
         if self.full {
             PlacementPolicy::FullLibrary
         } else {

@@ -2,10 +2,11 @@
 
 use crate::args::Args;
 use paba_core::{
-    simulate_source, CacheNetwork, LeastLoadedInBall, NearestReplica, PlacementPolicy,
+    simulate_source_profiled, CacheNetwork, LeastLoadedInBall, NearestReplica, PlacementPolicy,
     ProximityChoice, RequestSource, SimReport, StaleLoad, UncachedPolicy,
 };
 use paba_popularity::Popularity;
+use paba_telemetry::{AtomicRecorder, NullRecorder, Recorder, TelemetrySnapshot};
 use paba_topology::Torus;
 use paba_util::{Summary, Table};
 use paba_workload::{TraceWriter, WorkloadSpec};
@@ -25,6 +26,7 @@ USAGE:
   paba workload generate [options]    generate a request trace file
   paba workload inspect [options]     summarize a request trace file
   paba throughput [options]           measure assign-loop requests/sec
+  paba profile [options]              profile sampler paths and stage timings
   paba repro [options]                run the theorem-gated reproduction suite
   paba help                           show this text
 
@@ -43,6 +45,8 @@ SIMULATE OPTIONS (defaults in parentheses):
   --seed S          master seed (20170529)
   --grid            use the bounded grid instead of the torus
   --csv             emit CSV instead of a table
+  --telemetry       record sampler-path/timing telemetry and print the breakdown
+  --telemetry-out PATH  also write the merged snapshot as JSON (implies --telemetry)
   --workload W      iid | hotspot | zipf-origins | flash-crowd | shifting
                     | trace (iid), plus the workload options below
 
@@ -79,6 +83,18 @@ THROUGHPUT OPTIONS:
   --requests Q      requests per grid point (0 = n of the point)
   --out PATH        JSON report path (BENCH_throughput.json; 'none' skips)
   --csv             emit CSV instead of a table
+
+PROFILE OPTIONS:
+  --scale S         quick | default | full grid (PABA_SCALE or default)
+  --seed S          master seed (20170529)
+  --runs R          Monte-Carlo runs merged per grid point (4)
+  --requests Q      requests per run (0 = n of the point)
+  --out PATH        JSON artifact path (BENCH_profile.json; 'none' skips)
+  --baseline PATH   committed throughput artifact for the NullRecorder
+                    non-regression check (BENCH_throughput.json; 'none' skips)
+  --tolerance T     geometric-mean speedup-ratio gate (0.35)
+  --check           fail when the baseline gate fails or no baseline exists
+  --csv             emit CSV instead of tables
 
 REPRO OPTIONS:
   --scale S         quick | default | full experiment grids (PABA_SCALE or default)
@@ -118,6 +134,8 @@ const SIM_KEYS: &[&str] = &[
     "seed",
     "grid",
     "csv",
+    "telemetry",
+    "telemetry-out",
 ];
 
 /// Workload-family option keys shared by `simulate` and `workload generate`.
@@ -208,8 +226,95 @@ fn reject_action(a: &Args) -> Result<(), String> {
     }
 }
 
+/// Everything one Monte-Carlo run of `paba simulate` needs. Shared by the
+/// recorded (`--telemetry`) and unrecorded paths so both run byte-identical
+/// simulations — recording never touches the RNG stream.
+struct SimRunCfg {
+    side: u32,
+    k: u32,
+    m: u32,
+    gamma: f64,
+    radius: Option<u32>,
+    choices: u32,
+    stale: u64,
+    seed: u64,
+    requests_opt: u64,
+    strategy: String,
+    placement: String,
+    policy: PlacementPolicy,
+    spec: WorkloadSpec,
+}
+
+/// One `paba simulate` run: build the network, instantiate the workload,
+/// run the selected strategy with `rec` threaded through the hot path.
+fn sim_run_one<Rec: Recorder + Clone>(
+    cfg: &SimRunCfg,
+    run_idx: usize,
+    rng: &mut SmallRng,
+    rec: &Rec,
+) -> SimReport {
+    let net: CacheNetwork<Torus> = if cfg.placement == "dht" {
+        let library = paba_core::Library::new(cfg.k, popularity(cfg.gamma));
+        let p = paba_dht::dht_placement(
+            cfg.side * cfg.side,
+            &library,
+            &paba_dht::DhtPlacementConfig {
+                vnodes: 128,
+                salt: paba_util::mix_seed(cfg.seed, run_idx as u64),
+                rule: paba_dht::ReplicationRule::Proportional { m: cfg.m },
+            },
+        );
+        CacheNetwork::from_parts(Torus::new(cfg.side), library, p)
+    } else {
+        CacheNetwork::builder()
+            .torus_side(cfg.side)
+            .library(cfg.k, popularity(cfg.gamma))
+            .cache_size(cfg.m)
+            .placement_policy(cfg.policy)
+            .build(rng)
+    };
+    let mut source = cfg
+        .spec
+        .build(&net, UncachedPolicy::ResampleFile)
+        .expect("spec was validated before spawning runs");
+    let requests = if cfg.requests_opt != 0 {
+        cfg.requests_opt
+    } else {
+        // Finite sources (trace replay) default to their length.
+        RequestSource::<Torus>::size_hint(&source).unwrap_or(net.n() as u64)
+    };
+    match cfg.strategy.as_str() {
+        "nearest" => {
+            let mut s = NearestReplica::new().with_recorder(rec.clone());
+            simulate_source_profiled(&net, &mut s, &mut source, requests, rng, rec)
+        }
+        "two-choice" | "d-choice" => {
+            let d = if cfg.strategy == "two-choice" {
+                2
+            } else {
+                cfg.choices
+            };
+            if cfg.stale > 1 {
+                let inner = ProximityChoice::with_choices(cfg.radius, d).with_recorder(rec.clone());
+                let mut s = StaleLoad::new(inner, cfg.stale);
+                simulate_source_profiled(&net, &mut s, &mut source, requests, rng, rec)
+            } else {
+                let mut s = ProximityChoice::with_choices(cfg.radius, d).with_recorder(rec.clone());
+                simulate_source_profiled(&net, &mut s, &mut source, requests, rng, rec)
+            }
+        }
+        "least-loaded" => {
+            let mut s = LeastLoadedInBall::new(cfg.radius).with_recorder(rec.clone());
+            simulate_source_profiled(&net, &mut s, &mut source, requests, rng, rec)
+        }
+        other => unreachable!("strategy '{other}' was validated before spawning"),
+    }
+}
+
 /// `paba simulate`.
-pub(crate) fn simulate_cmd_impl(a: &Args) -> Result<(SimStats, usize), String> {
+pub(crate) fn simulate_cmd_impl(
+    a: &Args,
+) -> Result<(SimStats, usize, Option<TelemetrySnapshot>), String> {
     reject_action(a)?;
     let mut known = SIM_KEYS.to_vec();
     known.extend_from_slice(WORKLOAD_KEYS);
@@ -268,64 +373,48 @@ pub(crate) fn simulate_cmd_impl(a: &Args) -> Result<(SimStats, usize), String> {
         }
     }
 
-    let reports: Vec<SimReport> = paba_mcrunner::run_parallel(runs, seed, None, |run_idx, rng| {
-        let net: CacheNetwork<Torus> = if placement == "dht" {
-            let library = paba_core::Library::new(k, popularity(gamma));
-            let p = paba_dht::dht_placement(
-                side * side,
-                &library,
-                &paba_dht::DhtPlacementConfig {
-                    vnodes: 128,
-                    salt: paba_util::mix_seed(seed, run_idx as u64),
-                    rule: paba_dht::ReplicationRule::Proportional { m },
-                },
-            );
-            CacheNetwork::from_parts(Torus::new(side), library, p)
-        } else {
-            CacheNetwork::builder()
-                .torus_side(side)
-                .library(k, popularity(gamma))
-                .cache_size(m)
-                .placement_policy(policy)
-                .build(rng)
-        };
-        let mut source = spec
-            .build(&net, UncachedPolicy::ResampleFile)
-            .expect("spec was validated before spawning runs");
-        let requests = if requests_opt != 0 {
-            requests_opt
-        } else {
-            // Finite sources (trace replay) default to their length.
-            RequestSource::<Torus>::size_hint(&source).unwrap_or(net.n() as u64)
-        };
-        match strategy.as_str() {
-            "nearest" => {
-                let mut s = NearestReplica::new();
-                simulate_source(&net, &mut s, &mut source, requests, rng)
-            }
-            "two-choice" | "d-choice" => {
-                let d = if strategy == "two-choice" { 2 } else { choices };
-                if stale > 1 {
-                    let mut s = StaleLoad::new(ProximityChoice::with_choices(radius, d), stale);
-                    simulate_source(&net, &mut s, &mut source, requests, rng)
-                } else {
-                    let mut s = ProximityChoice::with_choices(radius, d);
-                    simulate_source(&net, &mut s, &mut source, requests, rng)
-                }
-            }
-            "least-loaded" => {
-                let mut s = LeastLoadedInBall::new(radius);
-                simulate_source(&net, &mut s, &mut source, requests, rng)
-            }
-            other => unreachable!("strategy '{other}' was validated before spawning"),
+    let cfg = SimRunCfg {
+        side,
+        k,
+        m,
+        gamma,
+        radius,
+        choices,
+        stale,
+        seed,
+        requests_opt,
+        strategy,
+        placement,
+        policy,
+        spec,
+    };
+    let telemetry = a.flag("telemetry") || a.get("telemetry-out").is_some();
+    let (reports, snapshot): (Vec<SimReport>, Option<TelemetrySnapshot>) = if telemetry {
+        let (reports, recorders) = paba_mcrunner::run_parallel_with_state(
+            runs,
+            seed,
+            None,
+            None,
+            AtomicRecorder::new,
+            |rec, run_idx, rng| sim_run_one(&cfg, run_idx, rng, &rec),
+        );
+        let mut snap = TelemetrySnapshot::empty();
+        for rec in &recorders {
+            snap.merge(&rec.snapshot());
         }
-    });
-    Ok((summarize_reports(&reports), runs))
+        (reports, Some(snap))
+    } else {
+        let reports = paba_mcrunner::run_parallel(runs, seed, None, |run_idx, rng| {
+            sim_run_one(&cfg, run_idx, rng, &NullRecorder)
+        });
+        (reports, None)
+    };
+    Ok((summarize_reports(&reports), runs, snapshot))
 }
 
 /// `paba simulate` with printing.
 pub fn simulate(a: &Args) -> Result<(), String> {
-    let (stats, runs) = simulate_cmd_impl(a)?;
+    let (stats, runs, telemetry) = simulate_cmd_impl(a)?;
     let mut t = Table::new(["metric", "mean", "ci95", "min", "max"]);
     for (name, s) in [
         ("max load L", &stats.max_load),
@@ -345,6 +434,23 @@ pub fn simulate(a: &Args) -> Result<(), String> {
     } else {
         println!("{runs} runs:");
         print!("{}", t.to_markdown());
+    }
+    if let Some(snap) = &telemetry {
+        if !a.flag("csv") {
+            println!();
+            print!("{}", snap.table());
+        }
+        let out = a.str_or("telemetry-out", "none");
+        if out != "none" {
+            let json = format!(
+                "{{\n  \"schema\": \"paba-telemetry/1\",\n  \"requests\": {},\n  \
+                 \"telemetry\": {}\n}}\n",
+                snap.total_requests(),
+                snap.to_json()
+            );
+            std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("wrote telemetry snapshot to {out}");
+        }
     }
     Ok(())
 }
@@ -507,6 +613,111 @@ pub fn throughput(a: &Args) -> Result<(), String> {
         let path = std::path::PathBuf::from(&out);
         paba_bench::throughput::write_json(&path, &measurements, seed, scale)?;
         eprintln!("wrote {} measurements to {out}", measurements.len());
+    }
+    Ok(())
+}
+
+/// `paba profile` — the telemetry harness of `paba-bench`: run the
+/// throughput regime grid under Strategy II with an [`AtomicRecorder`]
+/// threaded through the hot path, print per-regime sampler-path
+/// breakdowns plus the aggregate counter/timing view, optionally gate on
+/// the NullRecorder throughput baseline, and write `BENCH_profile.json`.
+pub fn profile(a: &Args) -> Result<(), String> {
+    reject_action(a)?;
+    let unknown = a.unknown_keys(&[
+        "scale",
+        "seed",
+        "runs",
+        "requests",
+        "out",
+        "baseline",
+        "tolerance",
+        "check",
+        "csv",
+    ]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown option(s): {unknown:?} (see 'paba help')"));
+    }
+    let env_cfg = paba_util::envcfg::EnvCfg::from_env();
+    let scale = match a.get("scale") {
+        None => env_cfg.scale,
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("--scale: expected quick|default|full, got '{s}'"))?,
+    };
+    let seed: u64 = a.parse_or("seed", paba_util::envcfg::DEFAULT_SEED)?;
+    let runs: usize = a.parse_or("runs", 4)?;
+    if runs == 0 {
+        return Err("--runs must be a positive run count".into());
+    }
+    let requests: u64 = a.parse_or("requests", 0)?;
+    let out = a.str_or("out", "BENCH_profile.json");
+    let baseline_path = a.str_or("baseline", "BENCH_throughput.json");
+    let tolerance: f64 =
+        a.parse_or("tolerance", paba_bench::profile::DEFAULT_BASELINE_TOLERANCE)?;
+    let check = a.flag("check");
+
+    let points = paba_bench::profile::run_profile(scale, seed, runs, requests, None);
+    let table = paba_bench::profile::to_table(&points);
+    if a.flag("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_markdown());
+        println!();
+        print!("{}", paba_bench::profile::aggregate(&points).table());
+    }
+
+    let baseline = if baseline_path == "none" {
+        None
+    } else {
+        paba_bench::profile::baseline_check(
+            std::path::Path::new(&baseline_path),
+            scale,
+            seed,
+            tolerance,
+        )?
+    };
+    if let Some(b) = &baseline {
+        let t = paba_bench::profile::baseline_table(b);
+        if a.flag("csv") {
+            print!("{}", t.to_csv());
+        } else {
+            println!();
+            print!("{}", t.to_markdown());
+        }
+        eprintln!(
+            "baseline {}: geo-mean speedup ratio {:.2} vs {baseline_path} (gate {:.2})",
+            if b.pass { "ok" } else { "FAILED" },
+            b.geo_mean_ratio,
+            b.tolerance
+        );
+    }
+    if out != "none" {
+        paba_bench::profile::write_json(
+            std::path::Path::new(&out),
+            &points,
+            baseline.as_ref(),
+            seed,
+            scale,
+        )?;
+        eprintln!("wrote {} profiled points to {out}", points.len());
+    }
+    if check {
+        match &baseline {
+            None => {
+                return Err(format!(
+                    "--check needs a committed baseline artifact ('{baseline_path}' not found)"
+                ))
+            }
+            Some(b) if !b.pass => {
+                return Err(format!(
+                    "NullRecorder throughput regressed: geo-mean speedup ratio {:.3} \
+                     below tolerance {:.3} (vs {baseline_path})",
+                    b.geo_mean_ratio, b.tolerance
+                ))
+            }
+            _ => {}
+        }
     }
     Ok(())
 }
@@ -763,8 +974,9 @@ mod tests {
     #[test]
     fn simulate_small_run_works() {
         let a = args("simulate --side 8 --files 20 --cache 3 --runs 3 --radius 3");
-        let (stats, runs) = simulate_cmd_impl(&a).unwrap();
+        let (stats, runs, telemetry) = simulate_cmd_impl(&a).unwrap();
         assert_eq!(runs, 3);
+        assert!(telemetry.is_none(), "no --telemetry, no snapshot");
         assert!(stats.max_load.mean >= 1.0);
         assert!(stats.cost.mean >= 0.0);
     }
@@ -775,7 +987,7 @@ mod tests {
             let a = args(&format!(
                 "simulate --side 6 --files 10 --cache 2 --runs 2 --strategy {strat}"
             ));
-            let (stats, _) = simulate_cmd_impl(&a).unwrap();
+            let (stats, _, _) = simulate_cmd_impl(&a).unwrap();
             assert!(stats.max_load.mean >= 1.0, "{strat}");
         }
     }
@@ -783,7 +995,7 @@ mod tests {
     #[test]
     fn simulate_dht_placement() {
         let a = args("simulate --side 8 --files 30 --cache 3 --runs 2 --placement dht");
-        let (stats, _) = simulate_cmd_impl(&a).unwrap();
+        let (stats, _, _) = simulate_cmd_impl(&a).unwrap();
         assert!(stats.max_load.mean >= 1.0);
     }
 
@@ -827,7 +1039,7 @@ mod tests {
             let a = args(&format!(
                 "simulate --side 6 --files 12 --cache 2 --runs 2 --workload {w}"
             ));
-            let (stats, _) = simulate_cmd_impl(&a).unwrap();
+            let (stats, _, _) = simulate_cmd_impl(&a).unwrap();
             assert!(stats.max_load.mean >= 1.0, "{w}");
         }
     }
@@ -862,7 +1074,7 @@ mod tests {
         let s = args(&format!(
             "simulate --side 6 --files 12 --cache 2 --runs 2 --workload trace --trace {path_s}"
         ));
-        let (stats, _) = simulate_cmd_impl(&s).unwrap();
+        let (stats, _, _) = simulate_cmd_impl(&s).unwrap();
         assert!(stats.max_load.mean >= 1.0);
         // Replayed workloads are identical across runs and strategies: the
         // request stream is frozen, only assignment randomness differs.
@@ -897,6 +1109,104 @@ mod tests {
     fn throughput_rejects_bad_scale() {
         let a = args("throughput --scale enormous --out none");
         assert!(throughput(&a).unwrap_err().contains("enormous"));
+    }
+
+    #[test]
+    fn simulate_telemetry_accounts_for_every_request() {
+        // side 8 → n = 64 requests per run, 3 runs.
+        let a = args("simulate --side 8 --files 20 --cache 3 --runs 3 --radius 3 --telemetry");
+        let (_, _, telemetry) = simulate_cmd_impl(&a).unwrap();
+        let snap = telemetry.expect("--telemetry yields a snapshot");
+        assert_eq!(snap.total_requests(), 3 * 64);
+    }
+
+    #[test]
+    fn simulate_telemetry_does_not_change_results() {
+        let base = "simulate --side 8 --files 20 --cache 3 --runs 3 --radius 3";
+        let (plain, _, _) = simulate_cmd_impl(&args(base)).unwrap();
+        let (recorded, _, _) = simulate_cmd_impl(&args(&format!("{base} --telemetry"))).unwrap();
+        assert_eq!(plain.max_load.mean, recorded.max_load.mean);
+        assert_eq!(plain.cost.mean, recorded.cost.mean);
+        assert_eq!(plain.fallback.mean, recorded.fallback.mean);
+    }
+
+    #[test]
+    fn simulate_telemetry_out_writes_snapshot_json() {
+        let dir =
+            std::env::temp_dir().join(format!("paba_cli_telemetry_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry.json");
+        let a = args(&format!(
+            "simulate --side 6 --files 12 --cache 2 --runs 2 --csv --telemetry-out {}",
+            path.display()
+        ));
+        simulate(&a).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\": \"paba-telemetry/1\""));
+        assert!(json.contains("\"sampler_paths\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn profile_quick_writes_valid_artifact() {
+        let dir =
+            std::env::temp_dir().join(format!("paba_cli_profile_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_profile.json");
+        let a = args(&format!(
+            "profile --scale quick --runs 1 --requests 200 --csv --baseline none --out {}",
+            path.display()
+        ));
+        profile(&a).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let doc = paba_repro::json::parse(&json).expect("artifact parses");
+        assert_eq!(
+            doc.get("schema").and_then(paba_repro::json::Json::as_str),
+            Some("paba-profile/1")
+        );
+        // Every point's sampler-path counters sum to its request count.
+        for p in doc
+            .get("points")
+            .and_then(paba_repro::json::Json::as_arr)
+            .unwrap()
+        {
+            let requests = p
+                .get("requests")
+                .and_then(paba_repro::json::Json::as_u64)
+                .unwrap();
+            let paths = p.get("telemetry").unwrap().get("sampler_paths").unwrap();
+            let sum: u64 = paba_telemetry::SamplerPath::ALL
+                .iter()
+                .map(|sp| {
+                    paths
+                        .get(sp.label())
+                        .and_then(paba_repro::json::Json::as_u64)
+                        .unwrap()
+                })
+                .sum();
+            assert_eq!(sum, requests);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn profile_check_without_baseline_fails() {
+        let a = args(
+            "profile --scale quick --runs 1 --requests 100 --csv --out none \
+             --check --baseline /nonexistent/BENCH_throughput.json",
+        );
+        let err = profile(&a).unwrap_err();
+        assert!(err.contains("--check"), "{err}");
+    }
+
+    #[test]
+    fn profile_rejects_bad_scale_and_zero_runs() {
+        assert!(profile(&args("profile --scale enormous --out none"))
+            .unwrap_err()
+            .contains("enormous"));
+        assert!(profile(&args("profile --runs 0 --out none"))
+            .unwrap_err()
+            .contains("--runs"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! paba workload generate --workload hotspot --out hotspot.trace --requests 100000
 //! paba workload inspect --trace hotspot.trace
 //! paba throughput --scale quick --out BENCH_throughput.json
+//! paba profile --scale quick --check --out BENCH_profile.json
 //! paba repro --quick --check
 //! paba help
 //! ```
@@ -33,6 +34,7 @@ fn main() {
         Some("ballsbins") => commands::ballsbins(&parsed),
         Some("workload") => commands::workload(&parsed),
         Some("throughput") => commands::throughput(&parsed),
+        Some("profile") => commands::profile(&parsed),
         Some("repro") => commands::repro(&parsed),
         Some("help") | None => {
             commands::print_help();

@@ -59,7 +59,8 @@ pub use network::{CacheNetwork, CacheNetworkBuilder};
 pub use placement::{Placement, PlacementPolicy};
 pub use request::{apply_uncached_policy, Request, UncachedPolicy};
 pub use simulate::{
-    simulate, simulate_observed, simulate_source, simulate_source_observed, simulate_with_policy,
+    simulate, simulate_observed, simulate_source, simulate_source_observed,
+    simulate_source_profiled, simulate_with_policy,
 };
 pub use source::{IidUniform, RequestSource};
 pub use strategy::{

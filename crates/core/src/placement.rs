@@ -379,6 +379,18 @@ impl Placement {
         }
     }
 
+    /// Whether membership queries for file `f` are answered by the dense
+    /// bitmap index (head files) rather than binary search (tail files).
+    /// Telemetry uses this to attribute [`Placement::caches`] costs; full
+    /// placements answer in O(1) without either structure.
+    #[inline]
+    pub fn has_dense_index(&self, f: FileId) -> bool {
+        match &self.kind {
+            Kind::Sparse { dense, .. } => dense.offsets[f as usize] != DenseIndex::NONE,
+            Kind::Full => false,
+        }
+    }
+
     /// Sorted distinct files cached by node `u`.
     ///
     /// For the full placement this would be `0..K` for every node; call

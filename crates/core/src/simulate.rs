@@ -10,6 +10,7 @@ use crate::network::CacheNetwork;
 use crate::request::{Request, UncachedPolicy};
 use crate::source::{IidUniform, RequestSource};
 use crate::strategy::{Assignment, Strategy};
+use paba_telemetry::{Recorder, SpanTimer, Stage};
 use paba_topology::Topology;
 use rand::Rng;
 
@@ -80,6 +81,33 @@ where
     R: Rng + ?Sized,
 {
     simulate_source_observed(net, strategy, source, requests, rng, |_, _| {})
+}
+
+/// [`simulate_source`] with stage-level span timing: the whole request
+/// loop runs inside a [`Stage::AssignLoop`] span on `rec`.
+///
+/// The recorder passed here only times the loop; to additionally count
+/// sampler paths the *strategy* must carry a recorder too (see
+/// `ProximityChoice::with_recorder`) — typically the same one.
+pub fn simulate_source_profiled<T, S, W, R, Rec>(
+    net: &CacheNetwork<T>,
+    strategy: &mut S,
+    source: &mut W,
+    requests: u64,
+    rng: &mut R,
+    rec: &Rec,
+) -> SimReport
+where
+    T: Topology,
+    S: Strategy<T>,
+    W: RequestSource<T>,
+    R: Rng + ?Sized,
+    Rec: Recorder,
+{
+    let timer = SpanTimer::start(rec, Stage::AssignLoop);
+    let report = simulate_source_observed(net, strategy, source, requests, rng, |_, _| {});
+    timer.stop(rec);
+    report
 }
 
 /// [`simulate_source`] invoking `observer(request, assignment)` after

@@ -14,16 +14,19 @@ use crate::network::CacheNetwork;
 use crate::request::Request;
 use crate::strategy::sampler::PoolSampler;
 use crate::strategy::{nearest_replica, Assignment, Strategy};
+use paba_telemetry::{NullRecorder, Recorder};
 use paba_topology::{NodeId, Topology};
 use rand::Rng;
 
 /// Greedy full-information assignment: the least-loaded replica within
 /// radius `r` (or globally, with `radius = None`).
 #[derive(Clone, Debug)]
-pub struct LeastLoadedInBall {
+pub struct LeastLoadedInBall<Rec: Recorder = NullRecorder> {
     radius: Option<u32>,
     /// Windowed pool materializer shared with Strategy II's sampler.
     sampler: PoolSampler,
+    /// Instrumentation sink (zero-sized no-op by default).
+    rec: Rec,
 }
 
 impl LeastLoadedInBall {
@@ -32,6 +35,18 @@ impl LeastLoadedInBall {
         Self {
             radius,
             sampler: PoolSampler::default(),
+            rec: NullRecorder,
+        }
+    }
+}
+
+impl<Rec: Recorder> LeastLoadedInBall<Rec> {
+    /// Swap in a different instrumentation sink, preserving configuration.
+    pub fn with_recorder<R2: Recorder>(self, rec: R2) -> LeastLoadedInBall<R2> {
+        LeastLoadedInBall {
+            radius: self.radius,
+            sampler: self.sampler,
+            rec,
         }
     }
 
@@ -41,7 +56,7 @@ impl LeastLoadedInBall {
     }
 }
 
-impl<T: Topology> Strategy<T> for LeastLoadedInBall {
+impl<T: Topology, Rec: Recorder> Strategy<T> for LeastLoadedInBall<Rec> {
     fn assign<R: Rng + ?Sized>(
         &mut self,
         net: &CacheNetwork<T>,
@@ -106,7 +121,10 @@ impl<T: Topology> Strategy<T> for LeastLoadedInBall {
                     // Full information still means visiting the whole
                     // pool, but the windowed materializer finds it via
                     // O(r) binary searches instead of a per-node scan.
-                    for &v in self.sampler.materialize_pool(net, req.origin, req.file, r) {
+                    for &v in self
+                        .sampler
+                        .materialize_pool(net, req.origin, req.file, r, &self.rec)
+                    {
                         consider(v, rng);
                     }
                 }
@@ -121,7 +139,7 @@ impl<T: Topology> Strategy<T> for LeastLoadedInBall {
             },
             None => {
                 // Empty ball: escalate to the global nearest replica.
-                let (server, hops) = nearest_replica(net, req.origin, req.file, rng)
+                let (server, hops) = nearest_replica(net, req.origin, req.file, rng, &self.rec)
                     .expect("cnt > 0 implies a replica exists");
                 Assignment {
                     server,

@@ -24,6 +24,7 @@ pub use stale::StaleLoad;
 use crate::metrics::FallbackKind;
 use crate::network::CacheNetwork;
 use crate::request::Request;
+use paba_telemetry::{Counter, Recorder};
 use paba_topology::{NodeId, Topology};
 use rand::Rng;
 
@@ -70,11 +71,16 @@ pub trait Strategy<T: Topology> {
 /// Doubling `w` from `≈ side/cnt` touches `O(√cnt)` expected replicas
 /// instead of all `cnt` (the nearest replica sits at distance
 /// `Θ(√(n/cnt))`, where the band holds `Θ(√cnt)` entries).
-pub(crate) fn nearest_replica<T: Topology, R: Rng + ?Sized>(
+///
+/// Each doubling beyond the initial estimate is recorded on `rec` as a
+/// [`Counter::RowBandExpansion`] — a proxy for how often the density
+/// estimate undershoots.
+pub(crate) fn nearest_replica<T: Topology, R: Rng + ?Sized, Rec: Recorder>(
     net: &CacheNetwork<T>,
     origin: NodeId,
     file: u32,
     rng: &mut R,
+    rec: &Rec,
 ) -> Option<(NodeId, u32)> {
     let placement = net.placement();
     let cnt = placement.replica_count(file);
@@ -94,6 +100,7 @@ pub(crate) fn nearest_replica<T: Topology, R: Rng + ?Sized>(
     // Start at the expected nearest distance Θ(√(n/cnt)), so the first
     // band usually already contains the winner.
     let mut w = (((topo.n() / cnt) as f64).sqrt() as u32).max(1);
+    let mut expansions = 0u64;
     loop {
         let band = topo.row_band(oc, w);
         let mut best_d = u32::MAX;
@@ -120,6 +127,9 @@ pub(crate) fn nearest_replica<T: Topology, R: Rng + ?Sized>(
         if best_d != u32::MAX && (best_d <= w || complete) {
             // Unscanned nodes are at row distance > w ≥ best_d, hence
             // strictly farther: the winner (and its tie set) is global.
+            if Rec::ENABLED && expansions > 0 {
+                rec.count(Counter::RowBandExpansion, expansions);
+            }
             return Some((chosen, best_d));
         }
         assert!(
@@ -127,6 +137,9 @@ pub(crate) fn nearest_replica<T: Topology, R: Rng + ?Sized>(
             "replica_count > 0 but no replica found in the full band"
         );
         w = w.saturating_mul(2);
+        if Rec::ENABLED {
+            expansions += 1;
+        }
     }
 }
 
@@ -134,6 +147,7 @@ pub(crate) fn nearest_replica<T: Topology, R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use paba_popularity::Popularity;
+    use paba_telemetry::NullRecorder;
     use paba_topology::Torus;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -165,7 +179,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         for origin in 0..net.n() {
             for file in 0..net.k() {
-                let got = nearest_replica(&net, origin, file, &mut rng);
+                let got = nearest_replica(&net, origin, file, &mut rng, &NullRecorder);
                 let expect = brute_nearest_dist(&net, origin, file);
                 match (got, expect) {
                     (None, None) => {}
@@ -192,7 +206,7 @@ mod tests {
                 if cnt == 0 {
                     continue;
                 }
-                let (_, d) = nearest_replica(&net, origin, file, &mut rng).unwrap();
+                let (_, d) = nearest_replica(&net, origin, file, &mut rng, &NullRecorder).unwrap();
                 assert_eq!(Some(d), brute_nearest_dist(&net, origin, file));
             }
         }
@@ -234,7 +248,8 @@ mod tests {
                 let mut counts = std::collections::HashMap::new();
                 let trials = 4000;
                 for _ in 0..trials {
-                    let (srv, _) = nearest_replica(&net, origin, file, &mut rng).unwrap();
+                    let (srv, _) =
+                        nearest_replica(&net, origin, file, &mut rng, &NullRecorder).unwrap();
                     *counts.entry(srv).or_insert(0u32) += 1;
                 }
                 let expect = trials as f64 / ties.len() as f64;
@@ -259,7 +274,7 @@ mod tests {
         let net = CacheNetwork::from_parts(topo, library, placement);
         let mut rng = SmallRng::seed_from_u64(5);
         for origin in 0..net.n() {
-            let (srv, d) = nearest_replica(&net, origin, 3, &mut rng).unwrap();
+            let (srv, d) = nearest_replica(&net, origin, 3, &mut rng, &NullRecorder).unwrap();
             assert_eq!(srv, origin);
             assert_eq!(d, 0);
         }
@@ -273,6 +288,6 @@ mod tests {
             .find(|&f| net.placement().replica_count(f) == 0)
             .expect("regime guarantees uncached files");
         let mut rng = SmallRng::seed_from_u64(6);
-        assert!(nearest_replica(&net, 0, uncached, &mut rng).is_none());
+        assert!(nearest_replica(&net, 0, uncached, &mut rng, &NullRecorder).is_none());
     }
 }

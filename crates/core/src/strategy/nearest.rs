@@ -10,12 +10,19 @@ use crate::metrics::FallbackKind;
 use crate::network::CacheNetwork;
 use crate::request::Request;
 use crate::strategy::{nearest_replica, Assignment, Strategy};
+use paba_telemetry::{NullRecorder, Recorder};
 use paba_topology::Topology;
 use rand::Rng;
 
 /// Strategy I — nearest replica, uniform random tie-break.
+///
+/// Generic over a [`Recorder`] so the row-band expansion counter of the
+/// nearest-replica search is observable; it records no sampler-path events
+/// (no candidate pool is ever drawn from).
 #[derive(Clone, Debug, Default)]
-pub struct NearestReplica {}
+pub struct NearestReplica<Rec: Recorder = NullRecorder> {
+    rec: Rec,
+}
 
 impl NearestReplica {
     /// Create the strategy (stateless).
@@ -24,7 +31,14 @@ impl NearestReplica {
     }
 }
 
-impl<T: Topology> Strategy<T> for NearestReplica {
+impl<Rec: Recorder> NearestReplica<Rec> {
+    /// Swap in a different instrumentation sink.
+    pub fn with_recorder<R2: Recorder>(self, rec: R2) -> NearestReplica<R2> {
+        NearestReplica { rec }
+    }
+}
+
+impl<T: Topology, Rec: Recorder> Strategy<T> for NearestReplica<Rec> {
     fn assign<R: Rng + ?Sized>(
         &mut self,
         net: &CacheNetwork<T>,
@@ -32,7 +46,7 @@ impl<T: Topology> Strategy<T> for NearestReplica {
         req: Request,
         rng: &mut R,
     ) -> Assignment {
-        match nearest_replica(net, req.origin, req.file, rng) {
+        match nearest_replica(net, req.origin, req.file, rng, &self.rec) {
             Some((server, hops)) => Assignment {
                 server,
                 hops,

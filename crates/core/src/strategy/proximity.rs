@@ -25,6 +25,7 @@ use crate::network::CacheNetwork;
 use crate::request::Request;
 use crate::strategy::sampler::{sample_by_index, PoolDraw, PoolSampler};
 use crate::strategy::{nearest_replica, Assignment, SamplerKind, Strategy};
+use paba_telemetry::{NullRecorder, Recorder, SamplerPath};
 use paba_topology::{NodeId, Topology};
 use rand::Rng;
 
@@ -51,8 +52,14 @@ pub enum RadiusFallback {
 }
 
 /// Strategy II — proximity-aware `d`-choice assignment.
+///
+/// Generic over a [`Recorder`]; the default [`NullRecorder`] compiles the
+/// instrumentation away entirely. Attach an active recorder with
+/// [`ProximityChoice::with_recorder`] — every assignment then records
+/// exactly one [`SamplerPath`] event, so path counts sum to the request
+/// count.
 #[derive(Clone, Debug)]
-pub struct ProximityChoice {
+pub struct ProximityChoice<Rec: Recorder = NullRecorder> {
     radius: Option<u32>,
     d: u32,
     pair_mode: PairMode,
@@ -62,6 +69,8 @@ pub struct ProximityChoice {
     sampler: PoolSampler,
     /// Workhorse: the d sampled candidates.
     picks: Vec<NodeId>,
+    /// Instrumentation sink (zero-sized no-op by default).
+    rec: Rec,
 }
 
 impl ProximityChoice {
@@ -84,7 +93,30 @@ impl ProximityChoice {
             fallback: RadiusFallback::default(),
             sampler: PoolSampler::new(SamplerKind::default()),
             picks: Vec::with_capacity(d as usize),
+            rec: NullRecorder,
         }
+    }
+}
+
+impl<Rec: Recorder> ProximityChoice<Rec> {
+    /// Swap in a different instrumentation sink (typically a
+    /// `&AtomicRecorder` shared with other strategies on the same thread),
+    /// preserving all other configuration.
+    pub fn with_recorder<R2: Recorder>(self, rec: R2) -> ProximityChoice<R2> {
+        ProximityChoice {
+            radius: self.radius,
+            d: self.d,
+            pair_mode: self.pair_mode,
+            fallback: self.fallback,
+            sampler: self.sampler,
+            picks: self.picks,
+            rec,
+        }
+    }
+
+    /// The attached instrumentation sink.
+    pub fn recorder(&self) -> &Rec {
+        &self.rec
     }
 
     /// Override the candidate sampling mode.
@@ -183,6 +215,7 @@ impl ProximityChoice {
                     PairMode::Distinct,
                     &mut self.picks,
                     rng,
+                    &NullRecorder, // diagnostic path: keep out of profiles
                 );
                 match drawn {
                     PoolDraw::Drawn if self.picks.len() == 2 => {
@@ -215,7 +248,7 @@ impl ProximityChoice {
     }
 }
 
-impl<T: Topology> Strategy<T> for ProximityChoice {
+impl<T: Topology, Rec: Recorder> Strategy<T> for ProximityChoice<Rec> {
     fn assign<R: Rng + ?Sized>(
         &mut self,
         net: &CacheNetwork<T>,
@@ -227,6 +260,7 @@ impl<T: Topology> Strategy<T> for ProximityChoice {
         let topo = net.topo();
         let cnt = placement.replica_count(req.file);
         if cnt == 0 {
+            self.rec.path(SamplerPath::Uncached);
             return Assignment {
                 server: req.origin,
                 hops: 0,
@@ -244,6 +278,7 @@ impl<T: Topology> Strategy<T> for ProximityChoice {
             None => {
                 // Unconstrained: the pool is the whole replica list;
                 // sample by index without materializing anything.
+                self.rec.path(SamplerPath::IndexSample);
                 if cnt == 1 && self.d >= 2 {
                     let server = placement.replica_at(req.file, 0);
                     return Assignment {
@@ -264,6 +299,7 @@ impl<T: Topology> Strategy<T> for ProximityChoice {
             }
             Some(r) if placement.is_full() => {
                 // Every node is a candidate: sample directly in the ball.
+                self.rec.path(SamplerPath::BallSample);
                 let ball = topo.ball_size_at(req.origin, r);
                 if ball == 1 && self.d >= 2 {
                     return Assignment {
@@ -305,6 +341,7 @@ impl<T: Topology> Strategy<T> for ProximityChoice {
                     self.pair_mode,
                     &mut self.picks,
                     rng,
+                    &self.rec,
                 );
                 match drawn {
                     PoolDraw::Empty => {
@@ -312,7 +349,7 @@ impl<T: Topology> Strategy<T> for ProximityChoice {
                         return match self.fallback {
                             RadiusFallback::NearestGlobal => {
                                 let (server, hops) =
-                                    nearest_replica(net, req.origin, req.file, rng)
+                                    nearest_replica(net, req.origin, req.file, rng, &self.rec)
                                         .expect("cnt > 0 implies a nearest replica exists");
                                 Assignment {
                                     server,

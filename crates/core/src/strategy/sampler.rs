@@ -32,7 +32,9 @@
 //! holds the speedup to ≥ 5× on the sparse finite-radius regimes.
 
 use crate::network::CacheNetwork;
+use crate::placement::Placement;
 use crate::strategy::proximity::PairMode;
+use paba_telemetry::{Counter, Recorder, SamplerPath};
 use paba_topology::{NodeId, Topology};
 use rand::Rng;
 
@@ -121,8 +123,12 @@ impl PoolSampler {
     /// Draw `d` uniform candidates from `B_r(origin) ∩ replicas(file)`
     /// into `picks` under `mode`, assuming `replica_count(file) > 0`, a
     /// finite effective radius `r < diameter`, and a sparse placement.
+    ///
+    /// Records exactly one [`SamplerPath`] per call on `rec` (including
+    /// calls that end in [`PoolDraw::Empty`], which went through a
+    /// materialization path to learn the pool is empty).
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn draw<T: Topology, R: Rng + ?Sized>(
+    pub(crate) fn draw<T: Topology, R: Rng + ?Sized, Rec: Recorder>(
         &mut self,
         net: &CacheNetwork<T>,
         origin: NodeId,
@@ -132,6 +138,7 @@ impl PoolSampler {
         mode: PairMode,
         picks: &mut Vec<NodeId>,
         rng: &mut R,
+        rec: &Rec,
     ) -> PoolDraw {
         let topo = net.topo();
         let placement = net.placement();
@@ -150,6 +157,7 @@ impl PoolSampler {
             let oc = topo.coord_of(origin);
             picks.clear();
             let mut attempts = 0u64;
+            let mut ball_attempts = 0u64;
             while (picks.len() as u32) < d && attempts < budget {
                 attempts += 1;
                 let v = if replica_side {
@@ -159,6 +167,9 @@ impl PoolSampler {
                     }
                     v
                 } else {
+                    if Rec::ENABLED {
+                        ball_attempts += 1;
+                    }
                     let v = topo.sample_in_ball_from(oc, r, rng);
                     if !placement.caches(v, file) {
                         continue;
@@ -170,7 +181,15 @@ impl PoolSampler {
                 }
                 picks.push(v);
             }
+            if Rec::ENABLED && ball_attempts > 0 {
+                record_caches(rec, placement, file, ball_attempts);
+            }
             if picks.len() as u32 == d {
+                rec.path(if replica_side {
+                    SamplerPath::RejectionReplica
+                } else {
+                    SamplerPath::RejectionBall
+                });
                 return PoolDraw::Drawn;
             }
             // Budget exhausted: the pool is thinner than the density
@@ -178,11 +197,19 @@ impl PoolSampler {
             // distinct mode). Settle it exactly below; partial picks are
             // discarded and redrawn from scratch, so the result stays
             // exactly uniform.
+            rec.count(Counter::RejectionBudgetExhausted, 1);
         }
         match self.kind {
-            SamplerKind::Hybrid => self.materialize_windowed(net, origin, file, r, cnt),
-            SamplerKind::ExactScan => self.materialize_scan(net, origin, file, r, cnt),
+            SamplerKind::Hybrid => {
+                self.materialize_windowed(net, origin, file, r, cnt);
+                rec.path(SamplerPath::Windowed);
+            }
+            SamplerKind::ExactScan => {
+                self.materialize_scan(net, origin, file, r, cnt, rec);
+                rec.path(SamplerPath::ExactScan);
+            }
         }
+        rec.pool_size(self.candidates.len());
         match self.candidates.len() {
             0 => PoolDraw::Empty,
             1 => {
@@ -206,16 +233,20 @@ impl PoolSampler {
 
     /// Materialize the pool into `candidates` via the sorted replica
     /// list restricted to the ball's contiguous id intervals, and return
-    /// it. `O(min(cnt, r log cnt) + |pool|)`.
-    pub(crate) fn materialize_pool<T: Topology>(
+    /// it. `O(min(cnt, r log cnt) + |pool|)`. Recorded as a
+    /// [`SamplerPath::Windowed`] event with the resulting pool size.
+    pub(crate) fn materialize_pool<T: Topology, Rec: Recorder>(
         &mut self,
         net: &CacheNetwork<T>,
         origin: NodeId,
         file: u32,
         r: u32,
+        rec: &Rec,
     ) -> &[NodeId] {
         let cnt = net.placement().replica_count(file);
         self.materialize_windowed(net, origin, file, r, cnt);
+        rec.path(SamplerPath::Windowed);
+        rec.pool_size(self.candidates.len());
         &self.candidates
     }
 
@@ -287,13 +318,14 @@ impl PoolSampler {
     /// The pre-sampler materialization: per-node scan of whichever side
     /// is smaller. Kept verbatim as the [`SamplerKind::ExactScan`]
     /// baseline the throughput harness compares against.
-    fn materialize_scan<T: Topology>(
+    fn materialize_scan<T: Topology, Rec: Recorder>(
         &mut self,
         net: &CacheNetwork<T>,
         origin: NodeId,
         file: u32,
         r: u32,
         cnt: u32,
+        rec: &Rec,
     ) {
         let topo = net.topo();
         let placement = net.placement();
@@ -307,13 +339,31 @@ impl PoolSampler {
             }
         } else {
             let candidates = &mut self.candidates;
+            let mut caches_calls = 0u64;
             topo.for_each_in_ball(origin, r, |v| {
+                if Rec::ENABLED {
+                    caches_calls += 1;
+                }
                 if placement.caches(v, file) {
                     candidates.push(v);
                 }
             });
+            if Rec::ENABLED && caches_calls > 0 {
+                record_caches(rec, placement, file, caches_calls);
+            }
         }
     }
+}
+
+/// Attribute `calls` [`Placement::caches`] membership checks for `file` to
+/// the index structure that answered them.
+fn record_caches<Rec: Recorder>(rec: &Rec, placement: &Placement, file: u32, calls: u64) {
+    let counter = if placement.has_dense_index(file) {
+        Counter::CachesBitmap
+    } else {
+        Counter::CachesBinarySearch
+    };
+    rec.count(counter, calls);
 }
 
 /// Lower-bound index of `target` in `sorted` (the first element `≥
@@ -407,6 +457,7 @@ mod tests {
     use super::*;
     use crate::network::CacheNetwork;
     use paba_popularity::Popularity;
+    use paba_telemetry::NullRecorder;
     use paba_topology::Torus;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -476,6 +527,7 @@ mod tests {
                 PairMode::Distinct,
                 &mut picks,
                 &mut rng,
+                &NullRecorder,
             );
             assert_eq!(out, PoolDraw::Drawn);
             assert_eq!(picks.len(), 1);
@@ -555,6 +607,7 @@ mod tests {
             PairMode::Distinct,
             &mut picks,
             &mut rng,
+            &NullRecorder,
         );
         assert_eq!(out, PoolDraw::Empty);
     }
@@ -577,6 +630,7 @@ mod tests {
             PairMode::Distinct,
             &mut picks,
             &mut rng,
+            &NullRecorder,
         );
         assert_eq!(out, PoolDraw::Drawn);
         assert_eq!(picks, expect);
@@ -602,6 +656,7 @@ mod tests {
                 PairMode::Distinct,
                 &mut picks,
                 &mut rng,
+                &NullRecorder,
             );
             assert_eq!(out, PoolDraw::Drawn);
             assert_eq!(picks.len(), 2);
@@ -630,6 +685,7 @@ mod tests {
                 PairMode::WithReplacement,
                 &mut picks,
                 &mut rng,
+                &NullRecorder,
             );
             assert_eq!(out, PoolDraw::Drawn);
             assert_eq!(picks.len(), 3);
@@ -647,8 +703,9 @@ mod tests {
                     if net.placement().replica_count(file) == 0 {
                         continue;
                     }
-                    let mut got: Vec<u32> =
-                        sampler.materialize_pool(&net, origin, file, r).to_vec();
+                    let mut got: Vec<u32> = sampler
+                        .materialize_pool(&net, origin, file, r, &NullRecorder)
+                        .to_vec();
                     got.sort_unstable();
                     assert_eq!(
                         got,
@@ -685,6 +742,7 @@ mod tests {
                             PairMode::Distinct,
                             &mut picks,
                             &mut rng,
+                            &NullRecorder,
                         );
                         transcript.push((out == PoolDraw::Drawn, picks.clone()));
                     }

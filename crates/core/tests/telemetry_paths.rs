@@ -1,0 +1,169 @@
+//! Telemetry integration: recording must not perturb simulation results,
+//! and sampler-path accounting must match the sampler's design — exactly
+//! one path per assigned request, with the expected path dominating in
+//! each placement regime.
+
+use paba_core::prelude::*;
+use paba_core::SamplerKind;
+use paba_telemetry::{AtomicRecorder, SamplerPath};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn build_net(
+    side: u32,
+    k: u32,
+    m: u32,
+    policy: PlacementPolicy,
+    seed: u64,
+) -> CacheNetwork<paba_topology::Torus> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    CacheNetwork::builder()
+        .torus_side(side)
+        .library(k, Popularity::Uniform)
+        .cache_size(m)
+        .placement_policy(policy)
+        .build(&mut rng)
+}
+
+fn sparse(side: u32, k: u32, m: u32, seed: u64) -> CacheNetwork<paba_topology::Torus> {
+    build_net(
+        side,
+        k,
+        m,
+        PlacementPolicy::ProportionalWithReplacement,
+        seed,
+    )
+}
+
+#[test]
+fn recording_does_not_change_simulation_results() {
+    for radius in [Some(3), None] {
+        let net = sparse(12, 60, 4, 5);
+        let requests = net.n() as u64;
+
+        let mut plain_rng = SmallRng::seed_from_u64(77);
+        let mut strat = ProximityChoice::two_choice(radius);
+        let plain = simulate(&net, &mut strat, requests, &mut plain_rng);
+
+        let rec = AtomicRecorder::new();
+        let mut rec_rng = SmallRng::seed_from_u64(77);
+        let mut strat = ProximityChoice::two_choice(radius).with_recorder(&rec);
+        let recorded = simulate(&net, &mut strat, requests, &mut rec_rng);
+
+        assert_eq!(plain.max_load(), recorded.max_load(), "radius={radius:?}");
+        assert_eq!(plain.comm_cost(), recorded.comm_cost(), "radius={radius:?}");
+        assert_eq!(
+            plain.fallback_fraction(),
+            recorded.fallback_fraction(),
+            "radius={radius:?}"
+        );
+    }
+}
+
+#[test]
+fn paths_sum_to_request_count_across_regimes() {
+    let regimes = [
+        // (K, M, policy, radius): dense, sparse, full, unconstrained.
+        (4, 8, PlacementPolicy::ProportionalWithReplacement, Some(4)),
+        (
+            2_000,
+            1,
+            PlacementPolicy::ProportionalWithReplacement,
+            Some(2),
+        ),
+        (30, 30, PlacementPolicy::FullLibrary, Some(3)),
+        (60, 4, PlacementPolicy::ProportionalWithReplacement, None),
+    ];
+    for (k, m, policy, radius) in regimes {
+        let net = build_net(20, k, m, policy, 9);
+        let requests = 2 * net.n() as u64;
+        let rec = AtomicRecorder::new();
+        let mut strat = ProximityChoice::two_choice(radius).with_recorder(&rec);
+        let mut rng = SmallRng::seed_from_u64(13);
+        simulate(&net, &mut strat, requests, &mut rng);
+        assert_eq!(
+            rec.snapshot().total_requests(),
+            requests,
+            "K={k} M={m} radius={radius:?}: exactly one sampler path per request"
+        );
+    }
+}
+
+#[test]
+fn dense_pools_take_rejection_paths() {
+    // K = 4, M = 8: nearly every node holds every file, so the hybrid
+    // sampler's rejection estimate is far under budget and the ball-side
+    // acceptance probability is ≈ 0.9 — rejection must dominate.
+    let net = sparse(20, 4, 8, 9);
+    let requests = 4 * net.n() as u64;
+    let rec = AtomicRecorder::new();
+    let mut strat = ProximityChoice::two_choice(Some(4)).with_recorder(&rec);
+    let mut rng = SmallRng::seed_from_u64(21);
+    simulate(&net, &mut strat, requests, &mut rng);
+    let snap = rec.snapshot();
+    let rejection = snap.path_count(SamplerPath::RejectionReplica)
+        + snap.path_count(SamplerPath::RejectionBall);
+    assert!(
+        rejection * 10 >= requests * 9,
+        "dense pools should resolve ≥90% of requests by rejection, got {rejection}/{requests}"
+    );
+}
+
+#[test]
+fn sparse_pools_fall_back_to_windowed_materialization() {
+    // K = 2000, M = 1 on n = 400: ~0.2 replicas per file, so the trial
+    // estimate blows the rejection budget and the windowed materialization
+    // must dominate.
+    let net = sparse(20, 2_000, 1, 11);
+    let requests = 4 * net.n() as u64;
+    let rec = AtomicRecorder::new();
+    let mut strat = ProximityChoice::two_choice(Some(2)).with_recorder(&rec);
+    let mut rng = SmallRng::seed_from_u64(23);
+    simulate(&net, &mut strat, requests, &mut rng);
+    let snap = rec.snapshot();
+    let windowed = snap.path_count(SamplerPath::Windowed);
+    assert!(
+        windowed * 2 > requests,
+        "sparse pools should mostly materialize windowed, got {windowed}/{requests}"
+    );
+}
+
+#[test]
+fn exact_scan_kind_records_only_exact_scan_draws() {
+    let net = sparse(12, 60, 4, 5);
+    let requests = 2 * net.n() as u64;
+    let rec = AtomicRecorder::new();
+    let mut strat = ProximityChoice::two_choice(Some(3))
+        .sampler(SamplerKind::ExactScan)
+        .with_recorder(&rec);
+    let mut rng = SmallRng::seed_from_u64(31);
+    simulate(&net, &mut strat, requests, &mut rng);
+    let snap = rec.snapshot();
+    assert_eq!(snap.path_count(SamplerPath::RejectionReplica), 0);
+    assert_eq!(snap.path_count(SamplerPath::RejectionBall), 0);
+    assert_eq!(snap.path_count(SamplerPath::Windowed), 0);
+    assert!(snap.path_count(SamplerPath::ExactScan) > 0);
+    assert_eq!(snap.total_requests(), requests);
+}
+
+#[test]
+fn full_placement_and_unbounded_radius_take_direct_paths() {
+    // Full placement + finite radius: every request samples directly in
+    // the ball. Unbounded radius: every request samples replicas by index.
+    let full = build_net(15, 25, 25, PlacementPolicy::FullLibrary, 3);
+    let requests = full.n() as u64;
+    let rec = AtomicRecorder::new();
+    let mut strat = ProximityChoice::two_choice(Some(4)).with_recorder(&rec);
+    let mut rng = SmallRng::seed_from_u64(41);
+    simulate(&full, &mut strat, requests, &mut rng);
+    let snap = rec.snapshot();
+    assert_eq!(snap.path_count(SamplerPath::BallSample), requests);
+
+    let net = sparse(15, 60, 4, 3);
+    let rec = AtomicRecorder::new();
+    let mut strat = ProximityChoice::two_choice(None).with_recorder(&rec);
+    let mut rng = SmallRng::seed_from_u64(43);
+    simulate(&net, &mut strat, requests, &mut rng);
+    let snap = rec.snapshot();
+    assert_eq!(snap.path_count(SamplerPath::IndexSample), requests);
+}

@@ -30,5 +30,5 @@ pub mod runner;
 pub mod sweep;
 
 pub use progress::Progress;
-pub use runner::{run_parallel, run_parallel_with_progress, summarize};
+pub use runner::{run_parallel, run_parallel_with_progress, run_parallel_with_state, summarize};
 pub use sweep::{sweep, sweep_summaries, PointSummary, SweepOutcome};

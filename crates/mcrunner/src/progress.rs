@@ -3,9 +3,11 @@
 //! Long benches (Figure 3 sweeps to n = 1.2·10⁵) should tell the user they
 //! are alive. [`Progress`] is a shared atomic counter that prints a line to
 //! stderr every ~10% of completed work — cheap enough to tick from every
-//! worker thread.
+//! worker thread. Each announce line also reports elapsed wall time, the
+//! completion rate in units/s, and an ETA for the remaining work.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Shared completed-work counter with optional stderr reporting.
 #[derive(Debug)]
@@ -14,6 +16,7 @@ pub struct Progress {
     completed: AtomicU64,
     /// Next decile to announce (×10%); u64::MAX disables printing.
     next_announce: AtomicU64,
+    start: Instant,
 }
 
 impl Progress {
@@ -23,6 +26,7 @@ impl Progress {
             total: total.max(1),
             completed: AtomicU64::new(0),
             next_announce: AtomicU64::new(if verbose { 1 } else { u64::MAX }),
+            start: Instant::now(),
         }
     }
 
@@ -37,11 +41,21 @@ impl Progress {
                 .compare_exchange(next, decile + 1, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
         {
-            eprintln!(
-                "  … {done}/{} runs ({}%)",
-                self.total,
-                done * 100 / self.total
-            );
+            let elapsed = self.elapsed().as_secs_f64();
+            let rate = self.rate();
+            let pct = done * 100 / self.total;
+            if rate > 0.0 {
+                let eta = self.total.saturating_sub(done) as f64 / rate;
+                eprintln!(
+                    "  … {done}/{} runs ({pct}%) | {elapsed:.1}s elapsed | {rate:.1} runs/s | ETA {eta:.1}s",
+                    self.total,
+                );
+            } else {
+                eprintln!(
+                    "  … {done}/{} runs ({pct}%) | {elapsed:.1}s elapsed",
+                    self.total
+                );
+            }
         }
     }
 
@@ -53,6 +67,30 @@ impl Progress {
     /// Total units.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Wall time since the tracker was created.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Completion rate in units/s (0.0 until any work completes or any
+    /// measurable time elapses).
+    pub fn rate(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed() as f64 / secs
+    }
+
+    /// Estimated seconds until completion, `None` until a rate is known.
+    pub fn eta_seconds(&self) -> Option<f64> {
+        let rate = self.rate();
+        if rate <= 0.0 {
+            return None;
+        }
+        Some(self.total.saturating_sub(self.completed()) as f64 / rate)
     }
 }
 
@@ -90,5 +128,40 @@ mod tests {
             }
         });
         assert_eq!(p.completed(), 1000);
+    }
+
+    #[test]
+    fn rate_and_eta_after_work() {
+        let p = Progress::new(100, false);
+        assert_eq!(p.completed(), 0);
+        for _ in 0..50 {
+            p.tick();
+        }
+        // Some wall time has necessarily elapsed by now.
+        std::thread::sleep(Duration::from_millis(2));
+        let rate = p.rate();
+        assert!(rate > 0.0, "rate should be positive after 50 ticks");
+        let eta = p.eta_seconds().expect("eta known once rate is positive");
+        assert!(eta >= 0.0);
+        // ETA ≈ remaining / rate by definition.
+        let expected = 50.0 / rate;
+        assert!((eta - expected).abs() / expected < 0.5);
+    }
+
+    #[test]
+    fn eta_none_before_any_work() {
+        let p = Progress::new(10, false);
+        assert_eq!(p.rate(), 0.0);
+        assert!(p.eta_seconds().is_none());
+    }
+
+    #[test]
+    fn ticks_beyond_total_do_not_underflow() {
+        let p = Progress::new(2, false);
+        for _ in 0..5 {
+            p.tick();
+        }
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(p.eta_seconds(), Some(0.0));
     }
 }

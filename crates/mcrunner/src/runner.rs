@@ -111,6 +111,102 @@ where
         .collect()
 }
 
+/// [`run_parallel_with_progress`] variant giving each worker thread its
+/// own state built by `init` — e.g. a telemetry recorder — returned
+/// alongside the outputs for post-join merging.
+///
+/// Returns `(outputs, states)`: outputs in **run-index order** (exactly as
+/// [`run_parallel`]), states one per effective worker thread in thread
+/// order (a single state on the single-threaded path). Determinism of the
+/// outputs is untouched — each run's RNG still depends only on
+/// `(master_seed, run_index)` and the strided ownership pattern is reused
+/// verbatim; the state is for side-channel accumulation whose merge must
+/// be order-insensitive (which thread ran which runs *does* vary with the
+/// thread count).
+pub fn run_parallel_with_state<O, S, I, F>(
+    runs: usize,
+    master_seed: u64,
+    threads: Option<usize>,
+    progress: Option<&Progress>,
+    init: I,
+    run_fn: F,
+) -> (Vec<O>, Vec<S>)
+where
+    O: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&S, usize, &mut SmallRng) -> O + Sync,
+{
+    if runs == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let n_threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+        .min(runs);
+
+    if n_threads == 1 {
+        let state = init();
+        let mut out = Vec::with_capacity(runs);
+        for i in 0..runs {
+            let mut rng = SmallRng::seed_from_u64(split_seed(master_seed, i as u64));
+            out.push(run_fn(&state, i, &mut rng));
+            if let Some(p) = progress {
+                p.tick();
+            }
+        }
+        return (out, vec![state]);
+    }
+
+    // Same strided lock-free pattern as run_parallel_with_progress, with
+    // each worker owning one state for its whole stride.
+    let results: Vec<(Vec<O>, S)> = std::thread::scope(|scope| {
+        let run_fn = &run_fn;
+        let init = &init;
+        let handles: Vec<_> = (0..n_threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let state = init();
+                    let mut local: Vec<O> = Vec::with_capacity(runs.div_ceil(n_threads));
+                    let mut i = t;
+                    while i < runs {
+                        let mut rng = SmallRng::seed_from_u64(split_seed(master_seed, i as u64));
+                        local.push(run_fn(&state, i, &mut rng));
+                        if let Some(p) = progress {
+                            p.tick();
+                        }
+                        i += n_threads;
+                    }
+                    (local, state)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| panic!("a Monte-Carlo worker panicked"))
+            })
+            .collect()
+    });
+
+    let (per_thread, states): (Vec<Vec<O>>, Vec<S>) = results.into_iter().unzip();
+    let mut iters: Vec<std::vec::IntoIter<O>> =
+        per_thread.into_iter().map(Vec::into_iter).collect();
+    let outputs = (0..runs)
+        .map(|i| {
+            iters[i % n_threads]
+                .next()
+                .unwrap_or_else(|| panic!("run {i} produced no output"))
+        })
+        .collect();
+    (outputs, states)
+}
+
 /// Fold an iterator of observations into a [`Summary`] with a fixed
 /// (sequential) accumulation order.
 pub fn summarize<I: IntoIterator<Item = f64>>(values: I) -> Summary {
@@ -181,6 +277,59 @@ mod tests {
         let p = Progress::new(120, false);
         let _ = run_parallel_with_progress(120, 1, Some(4), Some(&p), |i, _| i);
         assert_eq!(p.completed(), 120);
+    }
+
+    #[test]
+    fn with_state_outputs_match_stateless_runner() {
+        let f = |_i: usize, rng: &mut SmallRng| rng.gen_range(0..1_000_000u64);
+        let plain = run_parallel(257, 99, Some(3), f);
+        for threads in [1, 3, 8] {
+            let (outs, states) = run_parallel_with_state(
+                257,
+                99,
+                Some(threads),
+                None,
+                || (),
+                |&(), i, rng| f(i, rng),
+            );
+            assert_eq!(outs, plain, "threads={threads}");
+            assert_eq!(states.len(), threads.min(257));
+        }
+    }
+
+    #[test]
+    fn with_state_one_state_per_worker_thread() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Each worker accumulates its stride's run indices in its state;
+        // the union across states must be exactly 0..runs.
+        let (_, states) = run_parallel_with_state(
+            100,
+            7,
+            Some(4),
+            None,
+            || AtomicU64::new(0),
+            |state, i, _rng| {
+                state.fetch_add(i as u64, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(states.len(), 4);
+        let sum: u64 = states.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+        assert_eq!(sum, (0..100u64).sum());
+    }
+
+    #[test]
+    fn with_state_zero_runs() {
+        let (outs, states): (Vec<u32>, Vec<()>) =
+            run_parallel_with_state(0, 0, None, None, || (), |&(), _, _| 1);
+        assert!(outs.is_empty());
+        assert!(states.is_empty());
+    }
+
+    #[test]
+    fn with_state_ticks_progress() {
+        let p = Progress::new(60, false);
+        let _ = run_parallel_with_state(60, 1, Some(3), Some(&p), || (), |&(), i, _| i);
+        assert_eq!(p.completed(), 60);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Zero-overhead-when-disabled instrumentation for the assign hot path.
+//!
+//! The adaptive hybrid sampler (see `paba-core::strategy`) chooses between
+//! several materialization paths at runtime — two-sided rejection, windowed
+//! candidate enumeration, exact scans — and which path fires (and how often
+//! its budgets blow) is exactly what explains where the Θ(log log n)
+//! regime degrades at scale. This crate makes those internals observable
+//! without taxing the hot path when observation is off:
+//!
+//! * [`Recorder`] — the event sink trait. Strategies are generic over it,
+//!   so the choice of recorder is made at *compile time* per
+//!   monomorphization, not per event.
+//! * [`NullRecorder`] — the default. Every method is an empty `#[inline]`
+//!   body and [`Recorder::ENABLED`] is `false`, so instrumented code
+//!   compiles to exactly the uninstrumented machine code. A CI throughput
+//!   gate (`paba profile --check`) keeps that claim honest.
+//! * [`AtomicRecorder`] — relaxed per-event atomic counters plus log₂-
+//!   bucket span histograms. Shareable across threads by reference; the
+//!   Monte-Carlo runner gives each worker thread its own instance and
+//!   merges [`TelemetrySnapshot`]s after join, so parallel determinism of
+//!   the simulation itself is untouched.
+//! * [`SpanTimer`] — monotonic-clock stage timers (placement build, assign
+//!   loop, metrics merge) that skip the clock read entirely when the
+//!   recorder is disabled.
+//! * [`TelemetrySnapshot`] — a plain-data view with associative
+//!   [`TelemetrySnapshot::merge`], JSON serialization for the
+//!   `paba-profile/1` artifact, and a human-readable table.
+
+pub mod events;
+pub mod recorder;
+pub mod snapshot;
+
+pub use events::{Counter, SamplerPath, Stage};
+pub use recorder::{AtomicRecorder, NullRecorder, Recorder, SpanTimer, POOL_SIZE_BUCKETS};
+pub use snapshot::{SpanSummary, TelemetrySnapshot};

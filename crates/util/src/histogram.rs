@@ -125,6 +125,44 @@ impl Histogram {
             .map(|(v, &c)| (v, c))
     }
 
+    /// log₂ bucket index for `value`: bucket 0 holds the value 0, bucket
+    /// `b ≥ 1` holds `[2^(b-1), 2^b)`. Used to fold wide-range
+    /// observations (nanosecond spans) into a small dense histogram;
+    /// `log2_bucket(u64::MAX) = 64`, so 65 buckets cover all of `u64`.
+    #[inline]
+    pub fn log2_bucket(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (63 - value.leading_zeros() as usize) + 1
+        }
+    }
+
+    /// Compact JSON summary `{"count":…,"mean":…,"p50":…,"p99":…,"max":…}`
+    /// shared by the telemetry snapshots and BENCH artifact writers.
+    /// Statistics of an empty histogram serialize as `null`.
+    pub fn summary_json(&self) -> String {
+        let mean = if self.total == 0 {
+            "null".to_string()
+        } else {
+            let m = self.mean();
+            if m.is_finite() {
+                format!("{m}")
+            } else {
+                "null".to_string()
+            }
+        };
+        let opt = |v: Option<usize>| v.map_or("null".to_string(), |v| v.to_string());
+        format!(
+            "{{\"count\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+            self.total,
+            mean,
+            opt(self.quantile(0.5)),
+            opt(self.quantile(0.99)),
+            opt(self.max_value()),
+        )
+    }
+
     /// Fraction of observations with value `>= threshold`.
     pub fn tail_fraction(&self, threshold: usize) -> f64 {
         if self.total == 0 {
@@ -209,6 +247,43 @@ mod tests {
         assert!((h.tail_fraction(5) - 0.5).abs() < 1e-12);
         assert!((h.tail_fraction(0) - 1.0).abs() < 1e-12);
         assert_eq!(h.tail_fraction(10), 0.0);
+    }
+
+    #[test]
+    fn log2_bucket_boundaries() {
+        assert_eq!(Histogram::log2_bucket(0), 0);
+        assert_eq!(Histogram::log2_bucket(1), 1);
+        assert_eq!(Histogram::log2_bucket(2), 2);
+        assert_eq!(Histogram::log2_bucket(3), 2);
+        assert_eq!(Histogram::log2_bucket(4), 3);
+        assert_eq!(Histogram::log2_bucket(1023), 10);
+        assert_eq!(Histogram::log2_bucket(1024), 11);
+        assert_eq!(Histogram::log2_bucket(u64::MAX), 64);
+        // Every bucket's lower bound maps back to that bucket.
+        for b in 1..64usize {
+            assert_eq!(Histogram::log2_bucket(1u64 << (b - 1)), b);
+            assert_eq!(Histogram::log2_bucket((1u64 << b) - 1), b);
+        }
+    }
+
+    #[test]
+    fn summary_json_roundtrips_stats() {
+        let h: Histogram = (1..=100usize).collect();
+        let json = h.summary_json();
+        assert!(json.contains("\"count\":100"));
+        assert!(json.contains("\"mean\":50.5"));
+        assert!(json.contains("\"p50\":50"));
+        assert!(json.contains("\"p99\":99"));
+        assert!(json.contains("\"max\":100"));
+    }
+
+    #[test]
+    fn summary_json_empty_is_null() {
+        let json = Histogram::new().summary_json();
+        assert_eq!(
+            json,
+            "{\"count\":0,\"mean\":null,\"p50\":null,\"p99\":null,\"max\":null}"
+        );
     }
 
     #[test]
