@@ -6,7 +6,7 @@ use paba_core::{
     ProximityChoice, RequestSource, SimReport, StaleLoad, UncachedPolicy,
 };
 use paba_popularity::Popularity;
-use paba_telemetry::{AtomicRecorder, NullRecorder, Recorder, TelemetrySnapshot};
+use paba_telemetry::{AtomicRecorder, NullRecorder, Recorder, TelemetrySnapshot, TraceReport};
 use paba_topology::Torus;
 use paba_util::{Summary, Table};
 use paba_workload::{TraceWriter, WorkloadSpec};
@@ -27,8 +27,14 @@ USAGE:
   paba workload inspect [options]     summarize a request trace file
   paba throughput [options]           measure assign-loop requests/sec
   paba profile [options]              profile sampler paths and stage timings
+  paba profile --diff OLD NEW         statistically diff two profile artifacts
+  paba trace [options]                time-resolved tracing: sampled events,
+                                      load time series, Chrome-trace spans
   paba repro [options]                run the theorem-gated reproduction suite
   paba help                           show this text
+
+Output paths (--telemetry-out, --trace-out, --events-out, --series-out,
+--chrome-out) accept '-' to mean stdout, e.g. for piping into jq.
 
 SIMULATE OPTIONS (defaults in parentheses):
   --side N          torus side, n = side^2 (45)
@@ -47,6 +53,8 @@ SIMULATE OPTIONS (defaults in parentheses):
   --csv             emit CSV instead of a table
   --telemetry       record sampler-path/timing telemetry and print the breakdown
   --telemetry-out PATH  also write the merged snapshot as JSON (implies --telemetry)
+  --trace-out PATH  also collect a full per-request trace and write it as
+                    JSONL events ('-' = stdout)
   --workload W      iid | hotspot | zipf-origins | flash-crowd | shifting
                     | trace (iid), plus the workload options below
 
@@ -96,6 +104,24 @@ PROFILE OPTIONS:
   --check           fail when the baseline gate fails or no baseline exists
   --csv             emit CSV instead of tables
 
+PROFILE DIFF (paba profile --diff OLD.json NEW.json):
+  compares two paba-profile/1 artifacts — per-regime sampler-path shares
+  (two-proportion z-test), stage-time ratios, and baseline throughput
+  geo-mean — and exits nonzero when any regression gate trips
+  --diff-z Z        |z| gate for a path-share shift (6)
+  --share-floor F   absolute share delta a shift must also exceed (0.02)
+  --span-ratio R    NEW/OLD mean stage-time ratio gate (3)
+  --speedup-ratio R NEW/OLD speedup geo-mean lower gate (0.5)
+
+TRACE OPTIONS (plus the simulate/workload options above):
+  --sample N        keep every N-th request's event (16)
+  --reservoir C     instead: uniform reservoir of C events per run
+  --stride S        load-series sampling stride in requests (64; 0 = off)
+  --max-events E    ring-buffer bound per run for --sample mode (4096)
+  --events-out PATH JSONL event dump ('-' = stdout, 'none' skips; none)
+  --series-out PATH paba-trace-series/1 JSON ('-' = stdout; none)
+  --chrome-out PATH Chrome Trace Format spans for Perfetto ('-'; none)
+
 REPRO OPTIONS:
   --scale S         quick | default | full experiment grids (PABA_SCALE or default)
   --quick           shorthand for --scale quick
@@ -136,6 +162,18 @@ const SIM_KEYS: &[&str] = &[
     "csv",
     "telemetry",
     "telemetry-out",
+    "trace-out",
+];
+
+/// Extra option keys accepted by `paba trace` on top of [`SIM_KEYS`].
+const TRACE_KEYS: &[&str] = &[
+    "sample",
+    "reservoir",
+    "stride",
+    "max-events",
+    "events-out",
+    "series-out",
+    "chrome-out",
 ];
 
 /// Workload-family option keys shared by `simulate` and `workload generate`.
@@ -311,13 +349,28 @@ fn sim_run_one<Rec: Recorder + Clone>(
     }
 }
 
-/// `paba simulate`.
-pub(crate) fn simulate_cmd_impl(
-    a: &Args,
-) -> Result<(SimStats, usize, Option<TelemetrySnapshot>), String> {
+/// Write `content` to `path`, where `-` means stdout (so artifacts pipe
+/// straight into `jq` & co). The "wrote …" notice goes to stderr and only
+/// for real files, keeping stdout clean for the piped payload.
+fn write_output(path: &str, content: &str, what: &str) -> Result<(), String> {
+    if path == "-" {
+        print!("{content}");
+        Ok(())
+    } else {
+        std::fs::write(path, content).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {what} to {path}");
+        Ok(())
+    }
+}
+
+/// Parse the simulate-family configuration shared by `paba simulate` and
+/// `paba trace`. Returns the per-run config plus the run count;
+/// `extra_keys` extends the accepted option set.
+fn sim_cfg_from_args(a: &Args, extra_keys: &[&str]) -> Result<(SimRunCfg, usize), String> {
     reject_action(a)?;
     let mut known = SIM_KEYS.to_vec();
     known.extend_from_slice(WORKLOAD_KEYS);
+    known.extend_from_slice(extra_keys);
     let unknown = a.unknown_keys(&known);
     if !unknown.is_empty() {
         return Err(format!("unknown option(s): {unknown:?} (see 'paba help')"));
@@ -388,8 +441,46 @@ pub(crate) fn simulate_cmd_impl(
         policy,
         spec,
     };
+    Ok((cfg, runs))
+}
+
+/// `paba simulate`.
+#[allow(clippy::type_complexity)]
+pub(crate) fn simulate_cmd_impl(
+    a: &Args,
+) -> Result<
+    (
+        SimStats,
+        usize,
+        Option<TelemetrySnapshot>,
+        Option<TraceReport>,
+    ),
+    String,
+> {
+    let (cfg, runs) = sim_cfg_from_args(a, &[])?;
+    let seed = cfg.seed;
     let telemetry = a.flag("telemetry") || a.get("telemetry-out").is_some();
-    let (reports, snapshot): (Vec<SimReport>, Option<TelemetrySnapshot>) = if telemetry {
+    let tracing = a.get("trace-out").is_some();
+    let (reports, snapshot, trace): (
+        Vec<SimReport>,
+        Option<TelemetrySnapshot>,
+        Option<TraceReport>,
+    ) = if tracing {
+        // One traced pass serves both outputs: a TraceRecorder embeds an
+        // AtomicRecorder, so the aggregate snapshot comes for free.
+        let trace_cfg = paba_telemetry::TraceConfig {
+            sampling: paba_telemetry::Sampling::OneIn(1),
+            stride: 0,
+            max_events: 4096,
+            seed,
+        };
+        let (reports, report) =
+            paba_mcrunner::run_parallel_traced(runs, seed, None, None, trace_cfg, |rec, i, rng| {
+                sim_run_one(&cfg, i, rng, &rec)
+            });
+        let snap = telemetry.then(|| report.snapshot.clone());
+        (reports, snap, Some(report))
+    } else if telemetry {
         let (reports, recorders) = paba_mcrunner::run_parallel_with_state(
             runs,
             seed,
@@ -402,19 +493,25 @@ pub(crate) fn simulate_cmd_impl(
         for rec in &recorders {
             snap.merge(&rec.snapshot());
         }
-        (reports, Some(snap))
+        (reports, Some(snap), None)
     } else {
         let reports = paba_mcrunner::run_parallel(runs, seed, None, |run_idx, rng| {
             sim_run_one(&cfg, run_idx, rng, &NullRecorder)
         });
-        (reports, None)
+        (reports, None, None)
     };
-    Ok((summarize_reports(&reports), runs, snapshot))
+    Ok((summarize_reports(&reports), runs, snapshot, trace))
 }
 
 /// `paba simulate` with printing.
 pub fn simulate(a: &Args) -> Result<(), String> {
-    let (stats, runs, telemetry) = simulate_cmd_impl(a)?;
+    let (stats, runs, telemetry, trace) = simulate_cmd_impl(a)?;
+    let telemetry_out = a.str_or("telemetry-out", "none");
+    let trace_out = a.str_or("trace-out", "none");
+    // When an artifact goes to stdout the human summary moves to stderr,
+    // so `paba simulate --trace-out - | jq` sees pure JSON.
+    let piping = telemetry_out == "-" || trace_out == "-";
+
     let mut t = Table::new(["metric", "mean", "ci95", "min", "max"]);
     for (name, s) in [
         ("max load L", &stats.max_load),
@@ -429,28 +526,149 @@ pub fn simulate(a: &Args) -> Result<(), String> {
             format!("{:.4}", s.max),
         ]);
     }
+    let mut text = String::new();
     if a.flag("csv") {
-        print!("{}", t.to_csv());
+        text.push_str(&t.to_csv());
     } else {
-        println!("{runs} runs:");
-        print!("{}", t.to_markdown());
+        text.push_str(&format!("{runs} runs:\n"));
+        text.push_str(&t.to_markdown());
     }
     if let Some(snap) = &telemetry {
         if !a.flag("csv") {
-            println!();
-            print!("{}", snap.table());
+            text.push('\n');
+            text.push_str(&snap.table());
         }
-        let out = a.str_or("telemetry-out", "none");
-        if out != "none" {
+    }
+    if piping {
+        eprint!("{text}");
+    } else {
+        print!("{text}");
+    }
+
+    if let Some(snap) = &telemetry {
+        if telemetry_out != "none" {
             let json = format!(
                 "{{\n  \"schema\": \"paba-telemetry/1\",\n  \"requests\": {},\n  \
                  \"telemetry\": {}\n}}\n",
                 snap.total_requests(),
                 snap.to_json()
             );
-            std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
-            eprintln!("wrote telemetry snapshot to {out}");
+            write_output(&telemetry_out, &json, "telemetry snapshot")?;
         }
+    }
+    if let Some(report) = &trace {
+        if trace_out != "none" {
+            write_output(&trace_out, &report.events_jsonl(), "trace events")?;
+        }
+    }
+    Ok(())
+}
+
+/// `paba trace` — time-resolved tracing over the simulate configuration:
+/// sampled per-request events, a load-evolution time series, and
+/// Chrome-trace stage spans, all collected deterministically through
+/// [`paba_mcrunner::run_parallel_traced`].
+pub fn trace(a: &Args) -> Result<(), String> {
+    let (cfg, runs) = sim_cfg_from_args(a, TRACE_KEYS)?;
+    let sampling = match (a.get("sample"), a.get("reservoir")) {
+        (Some(_), Some(_)) => return Err("--sample and --reservoir are mutually exclusive".into()),
+        (Some(n), None) => {
+            let n: u64 = n
+                .parse()
+                .map_err(|_| format!("--sample: bad count '{n}'"))?;
+            if n == 0 {
+                return Err("--sample must be at least 1".into());
+            }
+            paba_telemetry::Sampling::OneIn(n)
+        }
+        (None, Some(c)) => {
+            let c: usize = c
+                .parse()
+                .map_err(|_| format!("--reservoir: bad capacity '{c}'"))?;
+            if c == 0 {
+                return Err("--reservoir must be at least 1".into());
+            }
+            paba_telemetry::Sampling::Reservoir(c)
+        }
+        (None, None) => paba_telemetry::Sampling::OneIn(16),
+    };
+    let trace_cfg = paba_telemetry::TraceConfig {
+        sampling,
+        stride: a.parse_or("stride", 64u64)?,
+        max_events: a.parse_or("max-events", 4096usize)?,
+        seed: cfg.seed,
+    };
+    let (reports, report) =
+        paba_mcrunner::run_parallel_traced(runs, cfg.seed, None, None, trace_cfg, |rec, i, rng| {
+            sim_run_one(&cfg, i, rng, &rec)
+        });
+
+    let events_out = a.str_or("events-out", "none");
+    let series_out = a.str_or("series-out", "none");
+    let chrome_out = a.str_or("chrome-out", "none");
+    // When any artifact goes to stdout the human summary moves to
+    // stderr, so `paba trace ... --events-out - | jq` sees pure JSON.
+    let piping = [&events_out, &series_out, &chrome_out]
+        .iter()
+        .any(|p| p.as_str() == "-");
+
+    let stats = summarize_reports(&reports);
+    let mean = report.mean_series();
+    let mut t = Table::new(["requests", "max load", "mean load", "gap to mean", "p99"]);
+    for p in &mean.points {
+        t.push_row([
+            format!("{}", p.requests),
+            format!("{:.3}", p.max_load),
+            format!("{:.3}", p.mean_load),
+            format!("{:.3}", p.gap_to_mean),
+            format!("{:.3}", p.p99),
+        ]);
+    }
+    let mut text = String::new();
+    use std::fmt::Write as _;
+    if a.flag("csv") {
+        text.push_str(&t.to_csv());
+    } else {
+        writeln!(
+            text,
+            "{runs} runs, {} requests: max load {:.3} ± {:.3}",
+            report.total_requests(),
+            stats.max_load.mean,
+            1.96 * stats.max_load.std_err
+        )
+        .unwrap();
+        let events: usize = report.runs.iter().map(|r| r.events.len()).sum();
+        let dropped: u64 = report.runs.iter().map(|r| r.dropped()).sum();
+        writeln!(
+            text,
+            "retained {events} sampled events ({dropped} evicted by buffer bounds), \
+             {} series points/run",
+            mean.points.len()
+        )
+        .unwrap();
+        if !mean.points.is_empty() {
+            text.push_str("\nmean load evolution across runs:\n");
+            text.push_str(&t.to_markdown());
+        }
+        if a.flag("telemetry") {
+            text.push('\n');
+            text.push_str(&report.snapshot.table());
+        }
+    }
+    if piping {
+        eprint!("{text}");
+    } else {
+        print!("{text}");
+    }
+
+    if events_out != "none" {
+        write_output(&events_out, &report.events_jsonl(), "trace events")?;
+    }
+    if series_out != "none" {
+        write_output(&series_out, &report.series_json(), "load time series")?;
+    }
+    if chrome_out != "none" {
+        write_output(&chrome_out, &report.chrome_json(), "Chrome trace")?;
     }
     Ok(())
 }
@@ -623,6 +841,57 @@ pub fn throughput(a: &Args) -> Result<(), String> {
 /// breakdowns plus the aggregate counter/timing view, optionally gate on
 /// the NullRecorder throughput baseline, and write `BENCH_profile.json`.
 pub fn profile(a: &Args) -> Result<(), String> {
+    // `paba profile --diff OLD.json NEW.json`: statistically compare two
+    // committed profile artifacts instead of running the grid. Must come
+    // before reject_action — NEW.json parses as the positional action.
+    if let Some(old) = a.get("diff") {
+        let new = a
+            .action
+            .as_deref()
+            .ok_or("--diff needs two artifacts: paba profile --diff OLD.json NEW.json")?;
+        let unknown = a.unknown_keys(&[
+            "diff",
+            "diff-z",
+            "share-floor",
+            "span-ratio",
+            "speedup-ratio",
+            "csv",
+        ]);
+        if !unknown.is_empty() {
+            return Err(format!("unknown option(s): {unknown:?} (see 'paba help')"));
+        }
+        let defaults = paba_bench::diff::DiffGates::default();
+        let gates = paba_bench::diff::DiffGates {
+            z: a.parse_or("diff-z", defaults.z)?,
+            share_floor: a.parse_or("share-floor", defaults.share_floor)?,
+            span_ratio: a.parse_or("span-ratio", defaults.span_ratio)?,
+            speedup_ratio: a.parse_or("speedup-ratio", defaults.speedup_ratio)?,
+        };
+        let diff = paba_bench::diff::diff_files(
+            std::path::Path::new(old),
+            std::path::Path::new(new),
+            gates,
+        )?;
+        let t = paba_bench::diff::diff_table(&diff);
+        if a.flag("csv") {
+            print!("{}", t.to_csv());
+        } else {
+            print!("{}", t.to_markdown());
+        }
+        let regressions = diff.regressions();
+        eprintln!(
+            "compared {} shared regime label(s): {} regression(s)",
+            diff.compared_labels, regressions
+        );
+        if regressions > 0 {
+            return Err(format!(
+                "{regressions} regression(s) between {old} and {new} \
+                 (gates: z>{:.1}, share>{:.3}, span ratio>{:.2}, speedup ratio<{:.2})",
+                gates.z, gates.share_floor, gates.span_ratio, gates.speedup_ratio
+            ));
+        }
+        return Ok(());
+    }
     reject_action(a)?;
     let unknown = a.unknown_keys(&[
         "scale",
@@ -974,7 +1243,7 @@ mod tests {
     #[test]
     fn simulate_small_run_works() {
         let a = args("simulate --side 8 --files 20 --cache 3 --runs 3 --radius 3");
-        let (stats, runs, telemetry) = simulate_cmd_impl(&a).unwrap();
+        let (stats, runs, telemetry, _) = simulate_cmd_impl(&a).unwrap();
         assert_eq!(runs, 3);
         assert!(telemetry.is_none(), "no --telemetry, no snapshot");
         assert!(stats.max_load.mean >= 1.0);
@@ -987,7 +1256,7 @@ mod tests {
             let a = args(&format!(
                 "simulate --side 6 --files 10 --cache 2 --runs 2 --strategy {strat}"
             ));
-            let (stats, _, _) = simulate_cmd_impl(&a).unwrap();
+            let (stats, _, _, _) = simulate_cmd_impl(&a).unwrap();
             assert!(stats.max_load.mean >= 1.0, "{strat}");
         }
     }
@@ -995,7 +1264,7 @@ mod tests {
     #[test]
     fn simulate_dht_placement() {
         let a = args("simulate --side 8 --files 30 --cache 3 --runs 2 --placement dht");
-        let (stats, _, _) = simulate_cmd_impl(&a).unwrap();
+        let (stats, _, _, _) = simulate_cmd_impl(&a).unwrap();
         assert!(stats.max_load.mean >= 1.0);
     }
 
@@ -1039,7 +1308,7 @@ mod tests {
             let a = args(&format!(
                 "simulate --side 6 --files 12 --cache 2 --runs 2 --workload {w}"
             ));
-            let (stats, _, _) = simulate_cmd_impl(&a).unwrap();
+            let (stats, _, _, _) = simulate_cmd_impl(&a).unwrap();
             assert!(stats.max_load.mean >= 1.0, "{w}");
         }
     }
@@ -1074,7 +1343,7 @@ mod tests {
         let s = args(&format!(
             "simulate --side 6 --files 12 --cache 2 --runs 2 --workload trace --trace {path_s}"
         ));
-        let (stats, _, _) = simulate_cmd_impl(&s).unwrap();
+        let (stats, _, _, _) = simulate_cmd_impl(&s).unwrap();
         assert!(stats.max_load.mean >= 1.0);
         // Replayed workloads are identical across runs and strategies: the
         // request stream is frozen, only assignment randomness differs.
@@ -1115,7 +1384,7 @@ mod tests {
     fn simulate_telemetry_accounts_for_every_request() {
         // side 8 → n = 64 requests per run, 3 runs.
         let a = args("simulate --side 8 --files 20 --cache 3 --runs 3 --radius 3 --telemetry");
-        let (_, _, telemetry) = simulate_cmd_impl(&a).unwrap();
+        let (_, _, telemetry, _) = simulate_cmd_impl(&a).unwrap();
         let snap = telemetry.expect("--telemetry yields a snapshot");
         assert_eq!(snap.total_requests(), 3 * 64);
     }
@@ -1123,8 +1392,8 @@ mod tests {
     #[test]
     fn simulate_telemetry_does_not_change_results() {
         let base = "simulate --side 8 --files 20 --cache 3 --runs 3 --radius 3";
-        let (plain, _, _) = simulate_cmd_impl(&args(base)).unwrap();
-        let (recorded, _, _) = simulate_cmd_impl(&args(&format!("{base} --telemetry"))).unwrap();
+        let (plain, _, _, _) = simulate_cmd_impl(&args(base)).unwrap();
+        let (recorded, _, _, _) = simulate_cmd_impl(&args(&format!("{base} --telemetry"))).unwrap();
         assert_eq!(plain.max_load.mean, recorded.max_load.mean);
         assert_eq!(plain.cost.mean, recorded.cost.mean);
         assert_eq!(plain.fallback.mean, recorded.fallback.mean);
@@ -1317,6 +1586,143 @@ mod tests {
         assert!(ballsbins(&args("ballsbins bogus"))
             .unwrap_err()
             .contains("bogus"));
+    }
+
+    #[test]
+    fn trace_writes_parseable_outputs() {
+        let dir = std::env::temp_dir().join(format!("paba_cli_trace_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("events.jsonl");
+        let series = dir.join("series.json");
+        let chrome = dir.join("chrome.json");
+        let a = args(&format!(
+            "trace --side 6 --files 12 --cache 2 --runs 2 --sample 4 --stride 16 --csv \
+             --events-out {} --series-out {} --chrome-out {}",
+            events.display(),
+            series.display(),
+            chrome.display()
+        ));
+        trace(&a).unwrap();
+        // Every JSONL line is a standalone JSON object.
+        let jsonl = std::fs::read_to_string(&events).unwrap();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            let ev = paba_repro::json::parse(line).expect("event line parses");
+            assert!(ev.get("request").is_some(), "{line}");
+            assert!(ev.get("server").is_some(), "{line}");
+        }
+        // The series artifact carries its schema plus per-run and mean series.
+        let doc = paba_repro::json::parse(&std::fs::read_to_string(&series).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(paba_repro::json::Json::as_str),
+            Some("paba-trace-series/1")
+        );
+        let runs = doc
+            .get("runs")
+            .and_then(paba_repro::json::Json::as_arr)
+            .unwrap();
+        assert_eq!(runs.len(), 2);
+        assert!(doc.get("mean").is_some());
+        // The Chrome trace is a trace_event document with complete events.
+        let ct = paba_repro::json::parse(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        let evs = ct
+            .get("traceEvents")
+            .and_then(paba_repro::json::Json::as_arr)
+            .unwrap();
+        assert!(!evs.is_empty());
+        for e in evs {
+            assert_eq!(
+                e.get("ph").and_then(paba_repro::json::Json::as_str),
+                Some("X")
+            );
+        }
+        for f in [&events, &series, &chrome] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn trace_rejects_conflicting_and_unknown_options() {
+        let a = args("trace --side 6 --files 12 --sample 4 --reservoir 8");
+        assert!(trace(&a).unwrap_err().contains("mutually exclusive"));
+        let a = args("trace --side 6 --files 12 --smaple 4");
+        assert!(trace(&a).unwrap_err().contains("smaple"));
+        let a = args("trace --side 6 --files 12 --sample 0");
+        assert!(trace(&a).unwrap_err().contains("--sample"));
+    }
+
+    #[test]
+    fn simulate_trace_out_writes_jsonl() {
+        let dir =
+            std::env::temp_dir().join(format!("paba_cli_sim_trace_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let a = args(&format!(
+            "simulate --side 6 --files 12 --cache 2 --runs 2 --csv --trace-out {}",
+            path.display()
+        ));
+        simulate(&a).unwrap();
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        // --trace-out samples every request: side 6 → 36 requests × 2 runs.
+        assert_eq!(jsonl.lines().count(), 2 * 36);
+        for line in jsonl.lines() {
+            paba_repro::json::parse(line).expect("event line parses");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn profile_diff_self_is_clean_and_doctored_regresses() {
+        let dir =
+            std::env::temp_dir().join(format!("paba_cli_profile_diff_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("old_profile.json");
+        profile(&args(&format!(
+            "profile --scale quick --runs 1 --requests 200 --csv --baseline none --out {}",
+            old.display()
+        )))
+        .unwrap();
+        // Self-diff: identical artifacts carry zero regressions.
+        profile(&args(&format!(
+            "profile --csv --diff {} {}",
+            old.display(),
+            old.display()
+        )))
+        .unwrap();
+        // Doctor one path counter far beyond any noise gate.
+        let text = std::fs::read_to_string(&old).unwrap();
+        let doc = paba_repro::json::parse(&text).unwrap();
+        let n = doc
+            .get("points")
+            .and_then(paba_repro::json::Json::as_arr)
+            .unwrap()[0]
+            .get("telemetry")
+            .unwrap()
+            .get("sampler_paths")
+            .unwrap()
+            .get("exact-scan")
+            .and_then(paba_repro::json::Json::as_u64)
+            .unwrap();
+        let doctored_text =
+            text.replacen(&format!("\"exact-scan\":{n}"), "\"exact-scan\":999999", 1);
+        assert_ne!(text, doctored_text, "perturbation must hit the artifact");
+        let doctored = dir.join("new_profile.json");
+        std::fs::write(&doctored, doctored_text).unwrap();
+        let err = profile(&args(&format!(
+            "profile --csv --diff {} {}",
+            old.display(),
+            doctored.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        std::fs::remove_file(&old).ok();
+        std::fs::remove_file(&doctored).ok();
+    }
+
+    #[test]
+    fn profile_diff_requires_both_artifacts() {
+        let err = profile(&args("profile --diff only_one.json")).unwrap_err();
+        assert!(err.contains("two artifacts"), "{err}");
     }
 
     #[test]

@@ -3,6 +3,8 @@
 //! ```text
 //! paba simulate --side 45 --files 500 --cache 20 --strategy two-choice --radius 8 --runs 50
 //! paba simulate --workload flash-crowd --flash-file 0 --flash-boost 80 --runs 20
+//! paba trace    --side 20 --runs 4 --stride 64 --chrome-out trace.json
+//! paba profile --diff BENCH_profile.json NEW_profile.json
 //! paba queue    --side 24 --lambda 0.9 --radius 4 --choices 2
 //! paba ballsbins --process two --bins 4096 --balls 4096 --runs 20
 //! paba workload generate --workload hotspot --out hotspot.trace --requests 100000
@@ -30,6 +32,7 @@ fn main() {
     };
     let result = match parsed.command.as_deref() {
         Some("simulate") => commands::simulate(&parsed),
+        Some("trace") => commands::trace(&parsed),
         Some("queue") => commands::queue(&parsed),
         Some("ballsbins") => commands::ballsbins(&parsed),
         Some("workload") => commands::workload(&parsed),

@@ -83,12 +83,15 @@ where
     simulate_source_observed(net, strategy, source, requests, rng, |_, _| {})
 }
 
-/// [`simulate_source`] with stage-level span timing: the whole request
-/// loop runs inside a [`Stage::AssignLoop`] span on `rec`.
+/// [`simulate_source`] with stage-level span timing and per-request load
+/// observation: the whole request loop runs inside a [`Stage::AssignLoop`]
+/// span on `rec`, and after each request is recorded `rec` observes the
+/// full load vector via [`Recorder::loads`] (feeding load-evolution time
+/// series; a no-op for recorders that don't collect them).
 ///
-/// The recorder passed here only times the loop; to additionally count
-/// sampler paths the *strategy* must carry a recorder too (see
-/// `ProximityChoice::with_recorder`) — typically the same one.
+/// The recorder passed here times the loop and watches loads; to
+/// additionally count sampler paths the *strategy* must carry a recorder
+/// too (see `ProximityChoice::with_recorder`) — typically the same one.
 pub fn simulate_source_profiled<T, S, W, R, Rec>(
     net: &CacheNetwork<T>,
     strategy: &mut S,
@@ -105,7 +108,16 @@ where
     Rec: Recorder,
 {
     let timer = SpanTimer::start(rec, Stage::AssignLoop);
-    let report = simulate_source_observed(net, strategy, source, requests, rng, |_, _| {});
+    let mut report = SimReport::new(net.n());
+    for i in 0..requests {
+        let req = source.next_request(net, rng);
+        let a = strategy.assign(net, &report.loads, req, rng);
+        report.record(a.server, a.hops, a.fallback);
+        if Rec::ENABLED {
+            rec.loads(i, &report.loads);
+        }
+    }
+    debug_assert!(report.check_conservation());
     timer.stop(rec);
     report
 }

@@ -68,6 +68,15 @@ impl<T: Topology, Rec: Recorder> Strategy<T> for LeastLoadedInBall<Rec> {
         let topo = net.topo();
         let cnt = placement.replica_count(req.file);
         if cnt == 0 {
+            if Rec::ENABLED {
+                self.rec.request(
+                    req.file as u64,
+                    req.origin as u64,
+                    req.origin as u64,
+                    0,
+                    &mut std::iter::empty(),
+                );
+            }
             return Assignment {
                 server: req.origin,
                 hops: 0,
@@ -131,7 +140,7 @@ impl<T: Topology, Rec: Recorder> Strategy<T> for LeastLoadedInBall<Rec> {
             }
         }
 
-        match best {
+        let a = match best {
             Some(server) => Assignment {
                 server,
                 hops: topo.dist(req.origin, server),
@@ -147,7 +156,19 @@ impl<T: Topology, Rec: Recorder> Strategy<T> for LeastLoadedInBall<Rec> {
                     fallback: Some(FallbackKind::NoCandidateInBall),
                 }
             }
+        };
+        if Rec::ENABLED {
+            // The scanned pool can be the whole network; report only the
+            // winner (its load is the pool minimum by construction).
+            self.rec.request(
+                req.file as u64,
+                req.origin as u64,
+                a.server as u64,
+                a.hops,
+                &mut std::iter::once((a.server as u64, loads[a.server as usize])),
+            );
         }
+        a
     }
 
     fn name(&self) -> &'static str {

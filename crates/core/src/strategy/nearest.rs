@@ -46,7 +46,7 @@ impl<T: Topology, Rec: Recorder> Strategy<T> for NearestReplica<Rec> {
         req: Request,
         rng: &mut R,
     ) -> Assignment {
-        match nearest_replica(net, req.origin, req.file, rng, &self.rec) {
+        let a = match nearest_replica(net, req.origin, req.file, rng, &self.rec) {
             Some((server, hops)) => Assignment {
                 server,
                 hops,
@@ -59,7 +59,18 @@ impl<T: Topology, Rec: Recorder> Strategy<T> for NearestReplica<Rec> {
                 hops: 0,
                 fallback: Some(FallbackKind::Uncached),
             },
+        };
+        if Rec::ENABLED {
+            // Nearest-replica compares no loads: no candidates to report.
+            self.rec.request(
+                req.file as u64,
+                req.origin as u64,
+                a.server as u64,
+                a.hops,
+                &mut std::iter::empty(),
+            );
         }
+        a
     }
 
     fn name(&self) -> &'static str {

@@ -248,8 +248,10 @@ impl<Rec: Recorder> ProximityChoice<Rec> {
     }
 }
 
-impl<T: Topology, Rec: Recorder> Strategy<T> for ProximityChoice<Rec> {
-    fn assign<R: Rng + ?Sized>(
+impl<Rec: Recorder> ProximityChoice<Rec> {
+    /// The assignment logic proper; `Strategy::assign` wraps it so the
+    /// per-request trace event is emitted at a single exit point.
+    fn assign_inner<T: Topology, R: Rng + ?Sized>(
         &mut self,
         net: &CacheNetwork<T>,
         loads: &[u32],
@@ -381,6 +383,34 @@ impl<T: Topology, Rec: Recorder> Strategy<T> for ProximityChoice<Rec> {
             hops: topo.dist(req.origin, server),
             fallback: None,
         }
+    }
+}
+
+impl<T: Topology, Rec: Recorder> Strategy<T> for ProximityChoice<Rec> {
+    fn assign<R: Rng + ?Sized>(
+        &mut self,
+        net: &CacheNetwork<T>,
+        loads: &[u32],
+        req: Request,
+        rng: &mut R,
+    ) -> Assignment {
+        if Rec::ENABLED {
+            // Paths that return before sampling (uncached, single
+            // candidate) must not leak the previous request's picks into
+            // this request's trace event.
+            self.picks.clear();
+        }
+        let a = self.assign_inner(net, loads, req, rng);
+        if Rec::ENABLED {
+            self.rec.request(
+                req.file as u64,
+                req.origin as u64,
+                a.server as u64,
+                a.hops,
+                &mut self.picks.iter().map(|&p| (p as u64, loads[p as usize])),
+            );
+        }
+        a
     }
 
     fn name(&self) -> &'static str {

@@ -28,7 +28,9 @@
 pub mod progress;
 pub mod runner;
 pub mod sweep;
+pub mod traced;
 
 pub use progress::Progress;
 pub use runner::{run_parallel, run_parallel_with_progress, run_parallel_with_state, summarize};
 pub use sweep::{sweep, sweep_summaries, PointSummary, SweepOutcome};
+pub use traced::run_parallel_traced;

@@ -42,20 +42,7 @@ impl Progress {
                 .is_ok()
         {
             let elapsed = self.elapsed().as_secs_f64();
-            let rate = self.rate();
-            let pct = done * 100 / self.total;
-            if rate > 0.0 {
-                let eta = self.total.saturating_sub(done) as f64 / rate;
-                eprintln!(
-                    "  … {done}/{} runs ({pct}%) | {elapsed:.1}s elapsed | {rate:.1} runs/s | ETA {eta:.1}s",
-                    self.total,
-                );
-            } else {
-                eprintln!(
-                    "  … {done}/{} runs ({pct}%) | {elapsed:.1}s elapsed",
-                    self.total
-                );
-            }
+            eprintln!("{}", announce_line(done, self.total, elapsed, self.rate()));
         }
     }
 
@@ -92,6 +79,26 @@ impl Progress {
         }
         Some(self.total.saturating_sub(self.completed()) as f64 / rate)
     }
+}
+
+/// Format one announce line. Pure so tests can pin the exact output.
+///
+/// A first announce can land with zero measurable elapsed time (`rate`
+/// 0.0, or non-finite if a caller divides by zero elapsed themselves);
+/// the rate/ETA segment is printed only when both are positive finite
+/// numbers, so `inf`/`NaN` never reach the terminal.
+fn announce_line(done: u64, total: u64, elapsed_s: f64, rate: f64) -> String {
+    let total = total.max(1);
+    let pct = done * 100 / total;
+    if rate.is_finite() && rate > 0.0 {
+        let eta = total.saturating_sub(done) as f64 / rate;
+        if eta.is_finite() {
+            return format!(
+                "  … {done}/{total} runs ({pct}%) | {elapsed_s:.1}s elapsed | {rate:.1} runs/s | ETA {eta:.1}s"
+            );
+        }
+    }
+    format!("  … {done}/{total} runs ({pct}%) | {elapsed_s:.1}s elapsed")
 }
 
 #[cfg(test)]
@@ -153,6 +160,37 @@ mod tests {
         let p = Progress::new(10, false);
         assert_eq!(p.rate(), 0.0);
         assert!(p.eta_seconds().is_none());
+    }
+
+    #[test]
+    fn announce_line_pins_both_formats() {
+        assert_eq!(
+            announce_line(5, 10, 2.0, 2.5),
+            "  … 5/10 runs (50%) | 2.0s elapsed | 2.5 runs/s | ETA 2.0s"
+        );
+        assert_eq!(
+            announce_line(1, 10, 0.0, 0.0),
+            "  … 1/10 runs (10%) | 0.0s elapsed"
+        );
+    }
+
+    #[test]
+    fn announce_line_guards_non_finite_rates() {
+        // Zero-elapsed first announce: a naive rate = done/elapsed would
+        // be inf (or NaN at 0/0); the line must fall back to the short
+        // form rather than print them.
+        for bad in [f64::INFINITY, f64::NAN, -1.0] {
+            assert_eq!(
+                announce_line(1, 10, 0.0, bad),
+                "  … 1/10 runs (10%) | 0.0s elapsed",
+                "rate={bad}"
+            );
+        }
+        assert_eq!(
+            announce_line(0, 10, 0.0, f64::MIN_POSITIVE),
+            "  … 0/10 runs (0%) | 0.0s elapsed",
+            "overflowing ETA falls back to the short form"
+        );
     }
 
     #[test]

@@ -272,32 +272,13 @@ fn parse_obj(b: &[u8], pos: &mut usize, depth: u32) -> Result<Json, String> {
     }
 }
 
-/// Escape a string for embedding in emitted JSON.
-pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Emit a finite `f64`, or `null` for NaN/±∞ (JSON has no non-finite
-/// numbers; [`Json::as_f64`] maps `null` back to NaN).
-pub fn num(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".into()
-    }
-}
+/// Emission helpers now live in `paba_util::json` so writer crates that
+/// sit *below* this one in the dependency graph (telemetry, bench) can use
+/// them; re-exported here to keep the original API.
+///
+/// `num` emits a finite `f64`, or `null` for NaN/±∞ (JSON has no
+/// non-finite numbers; [`Json::as_f64`] maps `null` back to NaN).
+pub use paba_util::json::{escape, num};
 
 #[cfg(test)]
 mod tests {

@@ -25,11 +25,27 @@
 //! * [`TelemetrySnapshot`] — a plain-data view with associative
 //!   [`TelemetrySnapshot::merge`], JSON serialization for the
 //!   `paba-profile/1` artifact, and a human-readable table.
+//!
+//! On top of the aggregate counters sits the *time-resolved* layer:
+//!
+//! * [`TraceRecorder`] — sampled per-request [`TraceEvent`]s (1-in-N or
+//!   reservoir, deterministic per run) plus a per-run load-evolution
+//!   [`LoadSeries`], merged scheduling-independently via
+//!   [`TraceReport::collect`].
+//! * [`export`] — JSONL event dumps, the `paba-trace-series/1` artifact,
+//!   and Chrome Trace Format spans loadable in Perfetto.
 
 pub mod events;
+pub mod export;
 pub mod recorder;
 pub mod snapshot;
+pub mod timeseries;
+pub mod trace;
 
 pub use events::{Counter, SamplerPath, Stage};
 pub use recorder::{AtomicRecorder, NullRecorder, Recorder, SpanTimer, POOL_SIZE_BUCKETS};
 pub use snapshot::{SpanSummary, TelemetrySnapshot};
+pub use timeseries::{LoadSeries, SeriesPoint};
+pub use trace::{
+    RunTrace, Sampling, SpanEvent, TraceConfig, TraceEvent, TraceRecorder, TraceReport,
+};

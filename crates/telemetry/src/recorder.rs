@@ -35,6 +35,28 @@ pub trait Recorder {
 
     /// Record an elapsed span of `nanos` nanoseconds for `stage`.
     fn span_ns(&self, stage: Stage, nanos: u64);
+
+    /// Record the outcome of one assignment: file id, requesting origin,
+    /// chosen server, hop distance, and the `(node, load)` candidates the
+    /// strategy compared. Strategies call this once per request at the end
+    /// of `assign`; `candidates` is lazy so a recorder that does not
+    /// sample this request never pays for materializing it. Default: no-op.
+    #[inline(always)]
+    fn request(
+        &self,
+        _file: u64,
+        _origin: u64,
+        _server: u64,
+        _hops: u32,
+        _candidates: &mut dyn Iterator<Item = (u64, u32)>,
+    ) {
+    }
+
+    /// Observe the full load vector after request `request_index` was
+    /// recorded — the hook behind load-evolution time series. Default:
+    /// no-op.
+    #[inline(always)]
+    fn loads(&self, _request_index: u64, _loads: &[u32]) {}
 }
 
 /// References to a recorder are recorders themselves; strategies hold a
@@ -61,6 +83,26 @@ impl<R: Recorder + ?Sized> Recorder for &R {
     fn span_ns(&self, stage: Stage, nanos: u64) {
         (**self).span_ns(stage, nanos);
     }
+
+    // The two default-body hooks must be forwarded explicitly: a default
+    // body on `&R` would silently swallow events instead of delegating to
+    // the underlying recorder.
+    #[inline(always)]
+    fn request(
+        &self,
+        file: u64,
+        origin: u64,
+        server: u64,
+        hops: u32,
+        candidates: &mut dyn Iterator<Item = (u64, u32)>,
+    ) {
+        (**self).request(file, origin, server, hops, candidates);
+    }
+
+    #[inline(always)]
+    fn loads(&self, request_index: u64, loads: &[u32]) {
+        (**self).loads(request_index, loads);
+    }
 }
 
 /// The do-nothing recorder: the default for every strategy, compiling
@@ -82,6 +124,20 @@ impl Recorder for NullRecorder {
 
     #[inline(always)]
     fn span_ns(&self, _stage: Stage, _nanos: u64) {}
+
+    #[inline(always)]
+    fn request(
+        &self,
+        _file: u64,
+        _origin: u64,
+        _server: u64,
+        _hops: u32,
+        _candidates: &mut dyn Iterator<Item = (u64, u32)>,
+    ) {
+    }
+
+    #[inline(always)]
+    fn loads(&self, _request_index: u64, _loads: &[u32]) {}
 }
 
 /// Candidate-pool sizes are bucketed exactly up to this bound; anything

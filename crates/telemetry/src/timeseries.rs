@@ -1,0 +1,196 @@
+//! Load-evolution time series.
+//!
+//! The paper's headline claims are *trajectories* — the maximum load grows
+//! like Θ(log log n) as balls land — so end-of-run aggregates are not
+//! enough to check them. [`LoadSeries`] samples the full load vector every
+//! `stride` requests and keeps four scalars per sample point: max load,
+//! mean load, gap-to-mean (the quantity the witness-tree bounds control),
+//! and the p99 load. Sampling decisions depend only on the within-run
+//! request index, so a series is bit-identical however runs are scheduled
+//! across threads.
+
+use paba_util::json::num;
+use paba_util::Histogram;
+
+/// One sampled point of the load trajectory.
+///
+/// All fields are `f64` so per-run points and cross-run means share a
+/// type; per-run values are exact (small integers fit `f64` losslessly).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesPoint {
+    /// Requests completed when the sample was taken (1-based).
+    pub requests: u64,
+    /// Maximum load over all nodes.
+    pub max_load: f64,
+    /// Mean load over all nodes.
+    pub mean_load: f64,
+    /// `max_load - mean_load`: the gap the paper's bounds control.
+    pub gap_to_mean: f64,
+    /// 99th-percentile load.
+    pub p99: f64,
+}
+
+impl SeriesPoint {
+    /// Measure a point from a load vector after `requests` requests.
+    pub fn measure(requests: u64, loads: &[u32]) -> Self {
+        let max = loads.iter().copied().max().unwrap_or(0) as f64;
+        let mean = if loads.is_empty() {
+            0.0
+        } else {
+            loads.iter().map(|&l| l as u64).sum::<u64>() as f64 / loads.len() as f64
+        };
+        let hist: Histogram = loads.iter().map(|&l| l as usize).collect();
+        let p99 = hist.quantile(0.99).unwrap_or(0) as f64;
+        Self {
+            requests,
+            max_load: max,
+            mean_load: mean,
+            gap_to_mean: max - mean,
+            p99,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"requests\": {}, \"max_load\": {}, \"mean_load\": {}, \"gap_to_mean\": {}, \"p99\": {}}}",
+            self.requests,
+            num(self.max_load),
+            num(self.mean_load),
+            num(self.gap_to_mean),
+            num(self.p99)
+        )
+    }
+}
+
+/// A strided load trajectory: one [`SeriesPoint`] every `stride` requests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadSeries {
+    /// Sampling stride in requests; 0 disables collection.
+    pub stride: u64,
+    /// Sampled points in request order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl LoadSeries {
+    /// Empty series with the given stride (0 = disabled).
+    pub fn new(stride: u64) -> Self {
+        Self {
+            stride,
+            points: Vec::new(),
+        }
+    }
+
+    /// Observe the load vector after request `request_index` (0-based) was
+    /// recorded; samples when `(request_index + 1) % stride == 0`.
+    pub fn observe(&mut self, request_index: u64, loads: &[u32]) {
+        if self.stride == 0 {
+            return;
+        }
+        let done = request_index + 1;
+        if done.is_multiple_of(self.stride) {
+            self.points.push(SeriesPoint::measure(done, loads));
+        }
+    }
+
+    /// Pointwise mean over several runs' series, folded in slice order —
+    /// callers pass runs sorted by run index, so the result is independent
+    /// of thread count. Truncates to the shortest series.
+    pub fn mean_over(series: &[&LoadSeries]) -> LoadSeries {
+        let Some(first) = series.first() else {
+            return LoadSeries::new(0);
+        };
+        let len = series.iter().map(|s| s.points.len()).min().unwrap_or(0);
+        let inv = 1.0 / series.len() as f64;
+        let points = (0..len)
+            .map(|i| {
+                let mut acc = SeriesPoint {
+                    requests: first.points[i].requests,
+                    max_load: 0.0,
+                    mean_load: 0.0,
+                    gap_to_mean: 0.0,
+                    p99: 0.0,
+                };
+                for s in series {
+                    let p = &s.points[i];
+                    acc.max_load += p.max_load;
+                    acc.mean_load += p.mean_load;
+                    acc.gap_to_mean += p.gap_to_mean;
+                    acc.p99 += p.p99;
+                }
+                acc.max_load *= inv;
+                acc.mean_load *= inv;
+                acc.gap_to_mean *= inv;
+                acc.p99 *= inv;
+                acc
+            })
+            .collect();
+        LoadSeries {
+            stride: first.stride,
+            points,
+        }
+    }
+
+    /// JSON array of the sampled points.
+    pub fn to_json(&self) -> String {
+        let pts: Vec<String> = self.points.iter().map(SeriesPoint::json).collect();
+        format!(
+            "{{\"stride\": {}, \"points\": [{}]}}",
+            self.stride,
+            pts.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_expected_scalars() {
+        let loads = [0u32, 1, 2, 5];
+        let p = SeriesPoint::measure(8, &loads);
+        assert_eq!(p.requests, 8);
+        assert_eq!(p.max_load, 5.0);
+        assert_eq!(p.mean_load, 2.0);
+        assert_eq!(p.gap_to_mean, 3.0);
+        assert_eq!(p.p99, 5.0);
+    }
+
+    #[test]
+    fn stride_controls_sampling() {
+        let mut s = LoadSeries::new(4);
+        let loads = [1u32, 1];
+        for i in 0..10 {
+            s.observe(i, &loads);
+        }
+        let at: Vec<u64> = s.points.iter().map(|p| p.requests).collect();
+        assert_eq!(at, vec![4, 8]);
+
+        let mut off = LoadSeries::new(0);
+        for i in 0..10 {
+            off.observe(i, &loads);
+        }
+        assert!(off.points.is_empty());
+    }
+
+    #[test]
+    fn mean_over_is_pointwise() {
+        let mut a = LoadSeries::new(1);
+        let mut b = LoadSeries::new(1);
+        a.observe(0, &[2, 0]);
+        b.observe(0, &[4, 0]);
+        let m = LoadSeries::mean_over(&[&a, &b]);
+        assert_eq!(m.points.len(), 1);
+        assert_eq!(m.points[0].max_load, 3.0);
+        assert_eq!(m.points[0].mean_load, 1.5);
+    }
+
+    #[test]
+    fn json_round_trips_shape() {
+        let mut s = LoadSeries::new(2);
+        s.observe(1, &[1, 3]);
+        let j = s.to_json();
+        assert!(j.starts_with("{\"stride\": 2"));
+        assert!(j.contains("\"max_load\": 3"));
+    }
+}

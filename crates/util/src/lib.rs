@@ -13,10 +13,13 @@
 //! * [`table`] — Markdown / CSV table emitters used by the bench harnesses.
 //! * [`envcfg`] — tiny environment-variable configuration for bench targets
 //!   (`PABA_RUNS`, `PABA_SEED`, `PABA_SCALE`, …).
+//! * [`json`] — the two shared JSON emission helpers (`escape`, `num`)
+//!   behind every hand-rolled artifact writer.
 
 pub mod envcfg;
 pub mod hash;
 pub mod histogram;
+pub mod json;
 pub mod linreg;
 pub mod rng;
 pub mod stats;

@@ -27,6 +27,7 @@
 //! | [`repro`] | `paba-repro` | theorem-gated reproduction suite + golden artifacts |
 //! | [`supermarket`] | `paba-supermarket` | continuous-time queueing extension (§VI) |
 //! | [`workload`] | `paba-workload` | pluggable request sources, trace record/replay |
+//! | [`telemetry`] | `paba-telemetry` | zero-overhead recorders, tracing, time series, Chrome-trace export |
 //!
 //! ## Quickstart
 //!
@@ -66,6 +67,7 @@ pub use paba_mcrunner as mcrunner;
 pub use paba_popularity as popularity;
 pub use paba_repro as repro;
 pub use paba_supermarket as supermarket;
+pub use paba_telemetry as telemetry;
 pub use paba_theory as theory;
 pub use paba_topology as topology;
 pub use paba_util as util;
