@@ -22,7 +22,7 @@ use std::path::Path;
 
 use paba_repro::json::{parse, Json};
 use paba_theory::bounds::{binomial_sigma, mean_gap_z};
-use paba_util::Table;
+use paba_util::{schema, Table};
 
 /// Gates separating regression from noise; see module docs.
 #[derive(Clone, Copy, Debug)]
@@ -109,10 +109,11 @@ fn obj_fields<'a>(j: &'a Json, what: &str, origin: &str) -> Result<&'a [(String,
 
 fn parse_profile(src: &str, origin: &str) -> Result<ProfileDoc, String> {
     let doc = parse(src).map_err(|e| format!("parsing {origin}: {e}"))?;
-    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
-    if schema != "paba-profile/1" {
+    let doc_schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if doc_schema != schema::PROFILE {
         return Err(format!(
-            "{origin}: expected schema paba-profile/1, got {schema:?}"
+            "{origin}: expected schema {}, got {doc_schema:?}",
+            schema::PROFILE
         ));
     }
     let points = doc

@@ -13,6 +13,7 @@
 
 pub mod diff;
 pub mod profile;
+pub mod report;
 pub mod throughput;
 
 use paba_core::{

@@ -46,7 +46,7 @@ use paba_mcrunner::run_parallel_with_state;
 use paba_repro::json::{parse, Json};
 use paba_telemetry::{AtomicRecorder, SpanTimer, Stage, TelemetrySnapshot};
 use paba_util::envcfg::Scale;
-use paba_util::Table;
+use paba_util::{schema, Provenance, Table};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::path::Path;
@@ -200,11 +200,12 @@ pub fn baseline_check(
     let src =
         std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let doc = parse(&src).map_err(|e| format!("parsing {}: {e}", path.display()))?;
-    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
-    if schema != "paba-throughput/1" {
+    let doc_schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if doc_schema != schema::THROUGHPUT {
         return Err(format!(
-            "{}: expected schema paba-throughput/1, got {schema:?}",
-            path.display()
+            "{}: expected schema {}, got {doc_schema:?}",
+            path.display(),
+            schema::THROUGHPUT
         ));
     }
     let measurements = doc
@@ -329,15 +330,32 @@ fn json_f64(x: f64) -> String {
 }
 
 /// Serialize a profile run to the `paba-profile/1` JSON schema.
+///
+/// Alongside the provenance block, the artifact records counting-
+/// allocator stats (`"alloc"`) when the CLI was built with its
+/// `alloc-track` feature, and `null` otherwise.
 pub fn to_json(
     points: &[ProfilePoint],
     baseline: Option<&BaselineCheck>,
     seed: u64,
     scale: Scale,
 ) -> String {
+    let config: Vec<String> = points
+        .iter()
+        .map(|p| format!("{}:{}:{}", p.point.label, p.runs, p.requests))
+        .collect();
+    let provenance = Provenance::capture(
+        schema::PROFILE,
+        seed,
+        &format!("{scale:?}").to_lowercase(),
+        &format!("profile {}", config.join(" ")),
+    );
+    let alloc = paba_telemetry::alloc::snapshot().map_or("null".to_string(), |a| a.to_json());
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"paba-profile/1\",\n");
+    s.push_str(&format!("  \"schema\": \"{}\",\n", schema::PROFILE));
+    s.push_str(&format!("  \"provenance\": {},\n", provenance.to_json()));
+    s.push_str(&format!("  \"alloc\": {alloc},\n"));
     s.push_str(&format!("  \"seed\": {seed},\n"));
     s.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     s.push_str("  \"points\": [\n");
@@ -461,7 +479,17 @@ mod tests {
         let doc = parse(&json).expect("profile JSON parses");
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some("paba-profile/1")
+            Some(schema::PROFILE)
+        );
+        let prov = doc.get("provenance").expect("provenance block present");
+        assert_eq!(
+            prov.get("schema").and_then(Json::as_str),
+            Some(schema::PROFILE),
+            "provenance schema matches the artifact schema"
+        );
+        assert!(
+            doc.get("alloc").is_some(),
+            "alloc key present (null or object)"
         );
         let points = doc.get("points").and_then(Json::as_arr).unwrap();
         assert_eq!(points.len(), 1);

@@ -34,9 +34,10 @@
 //! `"hybrid"` rows (hybrid rps ÷ exact-scan rps at the same point).
 
 use paba_core::{simulate, CacheNetwork, PlacementPolicy, ProximityChoice, SamplerKind};
+use paba_mcrunner::Progress;
 use paba_popularity::Popularity;
 use paba_util::envcfg::Scale;
-use paba_util::Table;
+use paba_util::{schema, Provenance, Table};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -216,6 +217,19 @@ pub fn measure_point(
 /// Run the whole grid. `requests = 0` defaults to `n` per point (the
 /// paper's request count).
 pub fn run_grid(scale: Scale, seed: u64, requests: u64) -> Vec<ThroughputMeasurement> {
+    run_grid_with_progress(scale, seed, requests, None)
+}
+
+/// [`run_grid`] with an optional [`Progress`] tracker ticked once per
+/// grid point — the `--serve-metrics` path reports grid progress live
+/// (the timed loops themselves stay uninstrumented: attaching a recorder
+/// would perturb exactly what this harness measures).
+pub fn run_grid_with_progress(
+    scale: Scale,
+    seed: u64,
+    requests: u64,
+    progress: Option<&Progress>,
+) -> Vec<ThroughputMeasurement> {
     let repeats = match scale {
         Scale::Quick => 1,
         Scale::Default => 2,
@@ -226,6 +240,9 @@ pub fn run_grid(scale: Scale, seed: u64, requests: u64) -> Vec<ThroughputMeasure
         let n = point.side as u64 * point.side as u64;
         let reqs = if requests == 0 { n } else { requests };
         all.extend(measure_point(&point, seed, reqs, repeats));
+        if let Some(p) = progress {
+            p.tick();
+        }
     }
     all
 }
@@ -263,9 +280,22 @@ fn json_f64(x: f64) -> String {
 /// Hand-rolled: every value is numeric, boolean, or an ASCII label the
 /// harness itself generated, so no escaping is needed.
 pub fn to_json(ms: &[ThroughputMeasurement], seed: u64, scale: Scale) -> String {
+    // The grid is fully determined by (scale, per-point request counts);
+    // hash that so provenance pins the exact configuration measured.
+    let config: Vec<String> = ms
+        .iter()
+        .map(|m| format!("{}:{}:{}", m.point.label, m.sampler, m.requests))
+        .collect();
+    let provenance = Provenance::capture(
+        schema::THROUGHPUT,
+        seed,
+        &format!("{scale:?}").to_lowercase(),
+        &format!("throughput {}", config.join(" ")),
+    );
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"paba-throughput/1\",\n");
+    s.push_str(&format!("  \"schema\": \"{}\",\n", schema::THROUGHPUT));
+    s.push_str(&format!("  \"provenance\": {},\n", provenance.to_json()));
     s.push_str(&format!("  \"seed\": {seed},\n"));
     s.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     s.push_str("  \"measurements\": [\n");
@@ -382,7 +412,8 @@ mod tests {
         };
         let ms = measure_point(&point, 1, 500, 1);
         let json = to_json(&ms, 1, Scale::Quick);
-        assert!(json.contains("\"schema\": \"paba-throughput/1\""));
+        assert!(json.contains(&format!("\"schema\": \"{}\"", schema::THROUGHPUT)));
+        assert!(json.contains("\"provenance\": {\"schema\": \"paba-throughput/1\""));
         assert!(json.contains("\"radius\": null"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

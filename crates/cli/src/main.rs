@@ -12,6 +12,8 @@
 //! paba throughput --scale quick --out BENCH_throughput.json
 //! paba profile --scale quick --check --out BENCH_profile.json
 //! paba repro --quick --check
+//! paba simulate --side 45 --runs 200 --serve-metrics 127.0.0.1:9464
+//! paba report --dir . --out REPORT.md
 //! paba help
 //! ```
 
@@ -19,6 +21,16 @@ mod args;
 mod commands;
 
 use args::Args;
+
+// `--features alloc-track` routes every heap allocation through the
+// counting wrapper, so `/metrics` and the profile artifact report
+// allocation counts and peak live bytes. Off by default: even relaxed
+// atomics in the allocator are measurable overhead for a benchmark
+// binary.
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static GLOBAL: paba_telemetry::CountingAlloc<std::alloc::System> =
+    paba_telemetry::CountingAlloc(std::alloc::System);
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +51,7 @@ fn main() {
         Some("throughput") => commands::throughput(&parsed),
         Some("profile") => commands::profile(&parsed),
         Some("repro") => commands::repro(&parsed),
+        Some("report") => commands::report(&parsed),
         Some("help") | None => {
             commands::print_help();
             Ok(())

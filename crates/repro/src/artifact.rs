@@ -19,9 +19,11 @@
 
 use crate::json::{self, Json};
 use paba_util::envcfg::Scale;
+use paba_util::Provenance;
 
-/// Current artifact schema identifier.
-pub const SCHEMA: &str = "paba-repro/1";
+/// Current artifact schema identifier (shared with every reader via
+/// [`paba_util::schema`]).
+pub const SCHEMA: &str = paba_util::schema::REPRO;
 
 /// Default noise/regression boundary for the golden diff: a metric moving
 /// more than this many combined standard errors is flagged. The diff is
@@ -94,13 +96,31 @@ impl Artifact {
     }
 
     /// Serialize to the `paba-repro/1` JSON layout.
+    ///
+    /// The provenance block is captured at write time (wall clock, thread
+    /// count, build profile of the *writing* process) and is not part of
+    /// the parsed [`Artifact`] — [`check`] compares suite results, not
+    /// the machines that produced them.
     pub fn to_json(&self) -> String {
+        let config: Vec<String> = self
+            .gates
+            .iter()
+            .map(|g| g.id.as_str().to_string())
+            .chain(self.metrics.iter().map(|m| format!("{}:{}", m.id, m.runs)))
+            .collect();
+        let provenance = Provenance::capture(
+            SCHEMA,
+            self.seed,
+            &self.scale,
+            &format!("repro {}", config.join(" ")),
+        );
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str(&format!(
             "  \"schema\": \"{}\",\n",
             json::escape(&self.schema)
         ));
+        s.push_str(&format!("  \"provenance\": {},\n", provenance.to_json()));
         s.push_str(&format!("  \"seed\": {},\n", self.seed));
         s.push_str(&format!(
             "  \"scale\": \"{}\",\n",
@@ -433,6 +453,24 @@ mod tests {
         let a = sample();
         let parsed = Artifact::from_json(&a.to_json()).unwrap();
         assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn schema_const_matches_util_registry() {
+        assert_eq!(SCHEMA, paba_util::schema::REPRO);
+    }
+
+    #[test]
+    fn written_artifact_carries_matching_provenance() {
+        let json = sample().to_json();
+        let doc = crate::json::parse(&json).unwrap();
+        let prov = doc.get("provenance").expect("provenance block present");
+        assert_eq!(prov.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(prov.get("seed").and_then(Json::as_u64), Some(7));
+        assert_eq!(prov.get("scale").and_then(Json::as_str), Some("quick"));
+        // Pre-provenance goldens (no block at all) must still parse.
+        let parsed = Artifact::from_json(&json).unwrap();
+        assert_eq!(parsed, sample());
     }
 
     #[test]

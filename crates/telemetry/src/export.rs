@@ -13,6 +13,7 @@
 //! tests is `paba_repro::json`.
 
 use paba_util::json::escape;
+use paba_util::Provenance;
 
 use crate::timeseries::LoadSeries;
 use crate::trace::{RunTrace, SpanEvent, TraceEvent, TraceReport};
@@ -57,8 +58,9 @@ pub fn events_jsonl<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> String 
     out
 }
 
-/// The `paba-trace-series/1` artifact: per-run series plus their mean.
-pub fn series_json(runs: &[RunTrace], mean: &LoadSeries) -> String {
+/// The `paba-trace-series/1` artifact: per-run series plus their mean,
+/// stamped with the run's [`Provenance`].
+pub fn series_json(runs: &[RunTrace], mean: &LoadSeries, provenance: &Provenance) -> String {
     let per_run: Vec<String> = runs
         .iter()
         .map(|r| {
@@ -71,7 +73,9 @@ pub fn series_json(runs: &[RunTrace], mean: &LoadSeries) -> String {
         })
         .collect();
     format!(
-        "{{\n  \"schema\": \"paba-trace-series/1\",\n  \"runs\": [{}],\n  \"mean\": {}\n}}\n",
+        "{{\n  \"schema\": \"{}\",\n  \"provenance\": {},\n  \"runs\": [{}],\n  \"mean\": {}\n}}\n",
+        paba_util::schema::TRACE_SERIES,
+        provenance.to_json(),
         per_run.join(", "),
         mean.to_json()
     )
@@ -108,8 +112,8 @@ impl TraceReport {
     }
 
     /// `paba-trace-series/1` artifact (see [`series_json`]).
-    pub fn series_json(&self) -> String {
-        series_json(&self.runs, &self.mean_series())
+    pub fn series_json(&self, provenance: &Provenance) -> String {
+        series_json(&self.runs, &self.mean_series(), provenance)
     }
 
     /// Chrome Trace Format document (see [`chrome_trace`]).
@@ -159,6 +163,15 @@ mod tests {
         let out = events_jsonl(evs.iter());
         assert_eq!(out.lines().count(), 2);
         assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn series_json_carries_schema_and_provenance() {
+        let prov = Provenance::capture(paba_util::schema::TRACE_SERIES, 9, "quick", "trace cfg");
+        let doc = series_json(&[], &LoadSeries::new(0), &prov);
+        assert!(doc.contains("\"schema\": \"paba-trace-series/1\""));
+        assert!(doc.contains("\"provenance\": {\"schema\": \"paba-trace-series/1\""));
+        assert!(doc.contains("\"seed\": 9"));
     }
 
     #[test]

@@ -34,16 +34,30 @@
 //!   [`TraceReport::collect`].
 //! * [`export`] — JSONL event dumps, the `paba-trace-series/1` artifact,
 //!   and Chrome Trace Format spans loadable in Perfetto.
+//!
+//! And the *live* layer added for operational visibility:
+//!
+//! * [`serve`] — a std-only Prometheus text-exposition endpoint
+//!   (`/metrics`, `/healthz`) rendering a shared [`AtomicRecorder`]
+//!   snapshot plus runner progress while a run is still in flight.
+//! * [`alloc`] — a counting `#[global_allocator]` wrapper surfacing
+//!   allocation count / bytes / peak in the profile artifact and on the
+//!   metrics page (installed by the CLI behind its `alloc-track`
+//!   feature).
 
+pub mod alloc;
 pub mod events;
 pub mod export;
 pub mod recorder;
+pub mod serve;
 pub mod snapshot;
 pub mod timeseries;
 pub mod trace;
 
+pub use alloc::{AllocSnapshot, CountingAlloc};
 pub use events::{Counter, SamplerPath, Stage};
-pub use recorder::{AtomicRecorder, NullRecorder, Recorder, SpanTimer, POOL_SIZE_BUCKETS};
+pub use recorder::{AtomicRecorder, NullRecorder, Recorder, SpanTimer, Tee, POOL_SIZE_BUCKETS};
+pub use serve::{MetricsServer, ProgressView};
 pub use snapshot::{SpanSummary, TelemetrySnapshot};
 pub use timeseries::{LoadSeries, SeriesPoint};
 pub use trace::{

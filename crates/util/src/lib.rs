@@ -15,19 +15,26 @@
 //!   (`PABA_RUNS`, `PABA_SEED`, `PABA_SCALE`, …).
 //! * [`json`] — the two shared JSON emission helpers (`escape`, `num`)
 //!   behind every hand-rolled artifact writer.
+//! * [`schema`] — the artifact schema identifiers every writer/reader
+//!   pair shares.
+//! * [`provenance`] — the per-artifact provenance block (seed, config
+//!   hash, build profile, wall clock) written by one shared helper.
 
 pub mod envcfg;
 pub mod hash;
 pub mod histogram;
 pub mod json;
 pub mod linreg;
+pub mod provenance;
 pub mod rng;
+pub mod schema;
 pub mod stats;
 pub mod table;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use histogram::Histogram;
 pub use linreg::{fit_line, fit_loglog, LineFit};
+pub use provenance::Provenance;
 pub use rng::{mix64, mix_seed, split_seed, SplitMix64};
 pub use stats::{OnlineStats, Summary};
 pub use table::{Align, Table};
