@@ -236,6 +236,9 @@ fn section_for(out: &mut String, a: &ReportArtifact) {
         s if s == schema::THROUGHPUT => throughput_section(out, &a.doc),
         s if s == schema::PROFILE => profile_section(out, &a.doc),
         s if s == schema::REPRO => repro_section(out, &a.doc),
+        // Churn artifacts share the gates+metrics layout of the repro
+        // suite; only the schema id (and experiment set) differ.
+        s if s == schema::CHURN => repro_section(out, &a.doc),
         _ => out.push_str("(no renderer for this schema; see raw artifact)\n"),
     }
 }
@@ -473,6 +476,29 @@ mod tests {
         .to_json()
     }
 
+    fn tiny_churn() -> String {
+        Artifact {
+            schema: schema::CHURN.into(),
+            seed: 3,
+            scale: "quick".into(),
+            gates: vec![Gate {
+                id: "churn/repair-on/max-load-noninferior".into(),
+                passed: true,
+                statistic: 1.2,
+                threshold: -2.0,
+                p_false_pass: f64::NAN,
+                detail: "d".into(),
+            }],
+            metrics: vec![Metric {
+                id: "churn/static/max_load".into(),
+                mean: 6.5,
+                std_err: 0.2,
+                runs: 8,
+            }],
+        }
+        .to_json()
+    }
+
     #[test]
     fn provenance_round_trip() {
         let p = Provenance::capture(schema::THROUGHPUT, 99, "default", "cfg x=1 y=2");
@@ -484,12 +510,13 @@ mod tests {
     #[test]
     fn report_over_all_writers_is_clean() {
         let files = vec![
+            ("BENCH_churn.json".to_string(), tiny_churn()),
             ("BENCH_profile.json".to_string(), tiny_profile()),
             ("BENCH_repro.json".to_string(), tiny_repro()),
             ("BENCH_throughput.json".to_string(), tiny_throughput()),
         ];
         let r = build_report(&files);
-        assert_eq!(r.artifacts, 3);
+        assert_eq!(r.artifacts, 4);
         assert!(r.failures.is_empty(), "{:?}", r.failures);
         // Under `cargo test` the writers stamp build_profile = debug, which
         // is a legitimate warning; nothing else should fire.
@@ -500,6 +527,8 @@ mod tests {
         );
         assert!(r.markdown.contains("# paba benchmark report"));
         assert!(r.markdown.contains("paba-throughput/1"));
+        assert!(r.markdown.contains("paba-churn/1"));
+        assert!(!r.markdown.contains("no renderer for this schema"));
         assert!(r.markdown.contains("Theorem gates: **1/1 passed**"));
         assert!(r.markdown.contains("speedup vs exact"));
         assert!(r.markdown.contains("dominant path"));
@@ -514,6 +543,7 @@ mod tests {
             (tiny_throughput(), schema::THROUGHPUT),
             (tiny_profile(), schema::PROFILE),
             (tiny_repro(), schema::REPRO),
+            (tiny_churn(), schema::CHURN),
         ] {
             let doc = parse(&json).unwrap();
             assert_eq!(doc.get("schema").and_then(Json::as_str), Some(want));

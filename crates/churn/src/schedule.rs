@@ -1,0 +1,231 @@
+//! Seeded churn schedules: which node fails (or joins) when, and which
+//! files arrive under capacity pressure.
+//!
+//! A schedule is generated once from a seed and then *replayed* against
+//! the request stream — the same `(seed, spec)` pair always produces the
+//! same event sequence, which is what makes churn experiments
+//! reproducible and bit-identical across mcrunner thread counts.
+
+use paba_popularity::FileId;
+use paba_topology::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One membership or content event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnEventKind {
+    /// Node dies without warning. Under [`crate::RepairPolicy::None`] its
+    /// placement entries go *stale* (the directory still lists them, and
+    /// requests discover the death via retries); under an active repair
+    /// policy the entries are dropped and re-replicated immediately.
+    Crash { node: NodeId },
+    /// Node departs gracefully: it hands each cached file to a live ring
+    /// successor (capacity permitting) before going down.
+    Leave { node: NodeId },
+    /// Node comes (back) up. Under an active repair policy it adopts the
+    /// files whose ring replica set now includes it; under
+    /// [`crate::RepairPolicy::None`] it simply resumes serving whatever
+    /// the directory still attributes to it.
+    Join { node: NodeId },
+    /// Content ingest: place fresh replicas of `file` on live nodes,
+    /// evicting a resident file wherever the target cache is full — the
+    /// capacity-pressure path.
+    Insert { file: FileId },
+}
+
+/// A [`ChurnEventKind`] stamped with the request index *before* which it
+/// fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// The event applies before request number `at` is served.
+    pub at: u64,
+    /// What happens.
+    pub kind: ChurnEventKind,
+}
+
+/// Shape parameters for [`ChurnSchedule::generate`].
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduleSpec {
+    /// Fraction of nodes taken down and later rejoined (the churn gate
+    /// requires ≥ 0.10). Clamped to leave at least one node untouched.
+    pub cycle_fraction: f64,
+    /// Of the cycled nodes, the fraction departing gracefully
+    /// ([`ChurnEventKind::Leave`]) rather than crashing.
+    pub graceful_fraction: f64,
+    /// Number of [`ChurnEventKind::Insert`] content-ingest events.
+    pub inserts: u32,
+}
+
+impl Default for ScheduleSpec {
+    fn default() -> Self {
+        Self {
+            cycle_fraction: 0.15,
+            graceful_fraction: 0.5,
+            inserts: 0,
+        }
+    }
+}
+
+/// An ordered, replayable sequence of churn events.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// Wrap explicit events (stably sorted by firing index, so events at
+    /// the same index keep their construction order).
+    pub fn new(mut events: Vec<ChurnEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        Self { events }
+    }
+
+    /// Generate a seeded schedule for `n` nodes, `k` files, and a
+    /// `requests`-long delivery phase.
+    ///
+    /// Each cycled node goes down at a uniform time in the second eighth
+    /// through first half of the run and rejoins after at least a
+    /// one-eighth-run outage, so outages overlap (sustained churn) but
+    /// every cycled node is back before the run ends. Inserts land
+    /// uniformly over the whole run.
+    pub fn generate(spec: &ScheduleSpec, n: u32, k: u32, requests: u64, seed: u64) -> Self {
+        assert!(n > 0 && k > 0);
+        if requests == 0 {
+            return Self::default();
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cycled = ((n as f64 * spec.cycle_fraction).round() as u32).clamp(1, n - 1);
+        // Partial Fisher-Yates: the first `cycled` entries of a shuffled
+        // 0..n are a uniform distinct sample.
+        let mut ids: Vec<NodeId> = (0..n).collect();
+        for i in 0..cycled as usize {
+            let j = rng.gen_range(i..n as usize);
+            ids.swap(i, j);
+        }
+        let mut events = Vec::with_capacity(2 * cycled as usize + spec.inserts as usize);
+        let eighth = (requests / 8).max(1);
+        for &node in &ids[..cycled as usize] {
+            let down_at = rng.gen_range(eighth..=(requests / 2).max(eighth));
+            let up_lo = down_at + eighth;
+            let up_hi = (requests * 7 / 8).max(up_lo);
+            let up_at = rng.gen_range(up_lo..=up_hi);
+            let down = if rng.gen::<f64>() < spec.graceful_fraction {
+                ChurnEventKind::Leave { node }
+            } else {
+                ChurnEventKind::Crash { node }
+            };
+            events.push(ChurnEvent {
+                at: down_at,
+                kind: down,
+            });
+            events.push(ChurnEvent {
+                at: up_at.min(requests - 1),
+                kind: ChurnEventKind::Join { node },
+            });
+        }
+        for _ in 0..spec.inserts {
+            events.push(ChurnEvent {
+                at: rng.gen_range(0..requests),
+                kind: ChurnEventKind::Insert {
+                    file: rng.gen_range(0..k),
+                },
+            });
+        }
+        Self::new(events)
+    }
+
+    /// The events, ascending by firing index.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Event counts by kind: `(crashes, leaves, joins, inserts)`.
+    pub fn counts(&self) -> (u32, u32, u32, u32) {
+        let (mut c, mut l, mut j, mut i) = (0, 0, 0, 0);
+        for e in &self.events {
+            match e.kind {
+                ChurnEventKind::Crash { .. } => c += 1,
+                ChurnEventKind::Leave { .. } => l += 1,
+                ChurnEventKind::Join { .. } => j += 1,
+                ChurnEventKind::Insert { .. } => i += 1,
+            }
+        }
+        (c, l, j, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let spec = ScheduleSpec {
+            cycle_fraction: 0.2,
+            graceful_fraction: 0.5,
+            inserts: 10,
+        };
+        let a = ChurnSchedule::generate(&spec, 100, 50, 10_000, 42);
+        let b = ChurnSchedule::generate(&spec, 100, 50, 10_000, 42);
+        assert_eq!(a.events(), b.events());
+        let c = ChurnSchedule::generate(&spec, 100, 50, 10_000, 43);
+        assert_ne!(a.events(), c.events(), "seed must matter");
+    }
+
+    #[test]
+    fn generate_cycles_every_down_node_back_up() {
+        let spec = ScheduleSpec {
+            cycle_fraction: 0.25,
+            graceful_fraction: 0.3,
+            inserts: 5,
+        };
+        let s = ChurnSchedule::generate(&spec, 64, 20, 8_000, 7);
+        let (crashes, leaves, joins, inserts) = s.counts();
+        assert_eq!(crashes + leaves, 16, "25% of 64 nodes cycle");
+        assert_eq!(joins, 16, "every down node rejoins");
+        assert_eq!(inserts, 5);
+        // Sorted by firing index; each node's down event precedes its join.
+        assert!(s.events().windows(2).all(|w| w[0].at <= w[1].at));
+        for e in s.events() {
+            assert!(e.at < 8_000, "event fires within the run");
+            let node = match e.kind {
+                ChurnEventKind::Crash { node } | ChurnEventKind::Leave { node } => node,
+                ChurnEventKind::Join { node } => node,
+                ChurnEventKind::Insert { file } => {
+                    assert!(file < 20);
+                    continue;
+                }
+            };
+            assert!(node < 64);
+            if let ChurnEventKind::Join { .. } = e.kind {
+                let down_at = s
+                    .events()
+                    .iter()
+                    .find(|d| {
+                        matches!(d.kind,
+                            ChurnEventKind::Crash { node: m } | ChurnEventKind::Leave { node: m }
+                                if m == node)
+                    })
+                    .map(|d| d.at)
+                    .expect("every join has a down event");
+                assert!(down_at < e.at, "node {node} joins after going down");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_requests_means_empty_schedule() {
+        let s = ChurnSchedule::generate(&ScheduleSpec::default(), 10, 10, 0, 1);
+        assert!(s.is_empty());
+    }
+}

@@ -34,6 +34,8 @@ USAGE:
   paba trace [options]                time-resolved tracing: sampled events,
                                       load time series, Chrome-trace spans
   paba repro [options]                run the theorem-gated reproduction suite
+  paba churn [options]                run the churn-robustness suite: seeded
+                                      fault injection, repair, degradation gates
   paba report [options]               aggregate BENCH_*.json artifacts into one
                                       provenance-checked markdown report
   paba help                           show this text
@@ -146,6 +148,20 @@ REPRO OPTIONS:
                     fail on regression or gate failure
   --golden PATH     committed golden artifact to diff against (BENCH_repro.json)
   --csv             emit CSV instead of tables
+
+CHURN OPTIONS:
+  --scale/--quick/--seed/--runs/--out/--check/--golden/--csv  as for repro
+                    (artifact BENCH_churn.json; fresh BENCH_churn_fresh.json)
+  --threads T       worker threads (0 = available parallelism)
+  --serve-metrics ADDR  expose live counters (churn events, retries, failed
+                    requests, repair migrations) at http://ADDR/metrics
+  --side/--files/--cache/--gamma/--radius  override the network regime
+  --cycle-fraction F    fraction of nodes crashed/left then rejoined (0.2)
+  --graceful-fraction F leave (with handoff) vs crash split (0.5)
+  --inserts I       mid-run catalogue inserts (scale default)
+  --repair P        none | random | two-choices (two-choices)
+  --retry-budget B  dead-replica failover retries per request (8)
+  --replication R   DHT successor replicas per file (3)
 
 REPORT OPTIONS:
   --dir DIR         directory scanned for BENCH_*.json artifacts (.)
@@ -1254,6 +1270,193 @@ pub fn repro(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `paba churn` — the churn-robustness suite of `paba-repro`: seeded
+/// fault-injection schedules (crash / leave / join / insert) over the
+/// dynamic placement engine, with graceful-degradation and repair gates.
+/// Writes the versioned `paba-churn/1` artifact and (with `--check`)
+/// statistically diffs against the committed golden, exactly like
+/// `paba repro`.
+pub fn churn(a: &Args) -> Result<(), String> {
+    reject_action(a)?;
+    let unknown = a.unknown_keys(&[
+        "scale",
+        "quick",
+        "seed",
+        "runs",
+        "threads",
+        "out",
+        "check",
+        "golden",
+        "csv",
+        "serve-metrics",
+        "side",
+        "files",
+        "cache",
+        "gamma",
+        "radius",
+        "cycle-fraction",
+        "graceful-fraction",
+        "inserts",
+        "repair",
+        "retry-budget",
+        "replication",
+    ]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown option(s): {unknown:?} (see 'paba help')"));
+    }
+    let env_cfg = paba_util::envcfg::EnvCfg::from_env();
+    let scale = if a.flag("quick") {
+        paba_util::envcfg::Scale::Quick
+    } else {
+        match a.get("scale") {
+            None => env_cfg.scale,
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("--scale: expected quick|default|full, got '{s}'"))?,
+        }
+    };
+    let check = a.flag("check");
+    let mut cfg = paba_repro::ReproConfig::new(scale);
+    cfg.seed = a.parse_or("seed", paba_util::envcfg::DEFAULT_SEED)?;
+    cfg.runs_override = match a.get("runs") {
+        None => None,
+        Some(_) => match a.parse_or("runs", 0usize)? {
+            0 => return Err("--runs must be a positive run count".into()),
+            r => Some(r),
+        },
+    };
+    cfg.threads = match a.parse_or("threads", 0usize)? {
+        0 => None,
+        t => Some(t),
+    };
+
+    // Regime overrides: absent knobs keep the scale default (the
+    // configuration the committed golden was generated with).
+    let opt_u32 = |key: &str| -> Result<Option<u32>, String> {
+        match a.get(key) {
+            None => Ok(None),
+            Some(_) => Ok(Some(a.parse_or(key, 0u32)?)),
+        }
+    };
+    let opt_frac = |key: &str| -> Result<Option<f64>, String> {
+        match a.get(key) {
+            None => Ok(None),
+            Some(_) => {
+                let v: f64 = a.parse_or(key, 0.0f64)?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!("--{key}: expected a fraction in [0, 1], got {v}"));
+                }
+                Ok(Some(v))
+            }
+        }
+    };
+    let params = paba_repro::churn_experiments::ChurnParams {
+        side: opt_u32("side")?,
+        files: opt_u32("files")?,
+        cache: opt_u32("cache")?,
+        gamma: match a.get("gamma") {
+            None => None,
+            Some(_) => Some(a.parse_or("gamma", 0.0f64)?),
+        },
+        radius: opt_u32("radius")?,
+        cycle_fraction: opt_frac("cycle-fraction")?,
+        graceful_fraction: opt_frac("graceful-fraction")?,
+        inserts: opt_u32("inserts")?,
+        repair: match a.get("repair") {
+            None => None,
+            Some(s) => {
+                Some(paba_churn::RepairPolicy::parse(s).map_err(|e| format!("--repair: {e}"))?)
+            }
+        },
+        retry_budget: opt_u32("retry-budget")?,
+        replication: opt_u32("replication")?,
+    };
+
+    let default_out = if check {
+        // Never clobber the golden we are about to diff against.
+        "BENCH_churn_fresh.json"
+    } else {
+        "BENCH_churn.json"
+    };
+    let out = a.str_or("out", default_out);
+    let golden_path = a.str_or("golden", "BENCH_churn.json");
+    if a.get("golden").is_some() && !check {
+        return Err(
+            "--golden only makes sense with --check (a plain run would ignore it \
+             and regenerate the artifact instead)"
+                .into(),
+        );
+    }
+    // Load the golden *before* running or writing anything (see `repro`).
+    let golden = if check {
+        if out != "none" && same_file(&out, &golden_path) {
+            return Err(format!(
+                "--check refuses to overwrite the golden it diffs against \
+                 ('{golden_path}'); pass a different --out (or 'none')"
+            ));
+        }
+        Some(paba_repro::Artifact::load_expecting(
+            std::path::Path::new(&golden_path),
+            schema::CHURN,
+        )?)
+    } else {
+        None
+    };
+
+    // `--serve-metrics`: every worker shares one recorder, so a scrape
+    // mid-suite sees churn events, dead-replica retries, failed requests,
+    // and repair migrations accumulate live.
+    let live = a.get("serve-metrics").is_some().then(|| {
+        LiveRun::new(
+            paba_repro::churn_experiments::planned_runs(&cfg) as u64,
+            false,
+        )
+    });
+    let _server = match &live {
+        Some(l) => spawn_metrics(a, l)?,
+        None => None,
+    };
+
+    let artifact = paba_repro::run_churn_suite_with(&cfg, &params, live.as_ref());
+    let gates = paba_repro::gates_table(&artifact);
+    if a.flag("csv") {
+        print!("{}", gates.to_csv());
+    } else {
+        print!("{}", gates.to_markdown());
+    }
+    if let Some(l) = &live {
+        eprint!("{}", l.recorder.snapshot().table());
+    }
+    if out != "none" {
+        artifact.write(std::path::Path::new(&out))?;
+        eprintln!(
+            "wrote {} gates / {} metrics to {out}",
+            artifact.gates.len(),
+            artifact.metrics.len()
+        );
+    }
+    if !artifact.all_gates_passed() {
+        return Err("churn robustness gates failed (see table above)".into());
+    }
+    if let Some(golden) = golden {
+        let rep = paba_repro::check(&artifact, &golden, paba_repro::DEFAULT_CHECK_Z)?;
+        let t = paba_repro::check_table(&rep);
+        if a.flag("csv") {
+            print!("{}", t.to_csv());
+        } else {
+            print!("{}", t.to_markdown());
+        }
+        if !rep.ok() {
+            return Err(format!(
+                "golden check failed: {} regression(s) vs {golden_path}",
+                rep.regressions.len()
+            ));
+        }
+        eprintln!("golden check passed against {golden_path}");
+    }
+    Ok(())
+}
+
 /// `paba report` — fold every `BENCH_*.json` artifact in a directory
 /// into one markdown report with cross-artifact provenance consistency
 /// checks. Warnings (missing provenance, debug builds, seed drift) are
@@ -1740,6 +1943,93 @@ mod tests {
         let a = args("repro --quick --runs 2 --golden /tmp/whatever.json --out none");
         let err = repro(&a).unwrap_err();
         assert!(err.contains("--check"), "{err}");
+    }
+
+    #[test]
+    fn churn_generate_then_check_round_trips() {
+        let dir = std::env::temp_dir().join(format!("paba_cli_churn_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let golden = dir.join("BENCH_churn.json");
+        let fresh = dir.join("BENCH_churn_fresh.json");
+        let gen = args(&format!(
+            "churn --quick --runs 8 --threads 2 --out {}",
+            golden.display()
+        ));
+        churn(&gen).unwrap();
+        let json = std::fs::read_to_string(&golden).unwrap();
+        assert!(json.contains("\"schema\": \"paba-churn/1\""));
+        let chk = args(&format!(
+            "churn --quick --runs 8 --threads 2 --check --golden {} --out {}",
+            golden.display(),
+            fresh.display()
+        ));
+        churn(&chk).unwrap();
+        assert!(fresh.exists(), "--check must write the fresh artifact");
+        std::fs::remove_file(&golden).ok();
+        std::fs::remove_file(&fresh).ok();
+    }
+
+    #[test]
+    fn churn_check_rejects_wrong_schema_golden() {
+        // A repro artifact is structurally valid JSON but the wrong
+        // schema; the churn golden loader must name both schemas.
+        let dir =
+            std::env::temp_dir().join(format!("paba_cli_churn_schema_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let golden = dir.join("BENCH_repro.json");
+        repro(&args(&format!(
+            "repro --quick --runs 16 --out {}",
+            golden.display()
+        )))
+        .unwrap();
+        let err = churn(&args(&format!(
+            "churn --quick --runs 2 --check --golden {} --out none",
+            golden.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("paba-churn/1"), "{err}");
+        assert!(err.contains("paba-repro/1"), "{err}");
+        std::fs::remove_file(&golden).ok();
+    }
+
+    #[test]
+    fn churn_check_refuses_aliased_golden_out_paths() {
+        let dir = std::env::temp_dir().join(format!("paba_cli_churn_alias_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let golden = dir.join("BENCH_churn.json");
+        std::fs::write(&golden, "{}").unwrap();
+        let aliased = dir.join(".").join("BENCH_churn.json");
+        let a = args(&format!(
+            "churn --quick --runs 2 --check --golden {} --out {}",
+            golden.display(),
+            aliased.display()
+        ));
+        let err = churn(&a).unwrap_err();
+        assert!(err.contains("refuses to overwrite"), "{err}");
+        assert_eq!(std::fs::read_to_string(&golden).unwrap(), "{}");
+        std::fs::remove_file(&golden).ok();
+    }
+
+    #[test]
+    fn churn_rejects_bad_options() {
+        assert!(churn(&args("churn --sacle quick"))
+            .unwrap_err()
+            .contains("sacle"));
+        assert!(
+            churn(&args("churn --quick --repair best-effort --out none"))
+                .unwrap_err()
+                .contains("--repair")
+        );
+        assert!(
+            churn(&args("churn --quick --cycle-fraction 1.5 --out none"))
+                .unwrap_err()
+                .contains("cycle-fraction")
+        );
+        assert!(churn(&args(
+            "churn --quick --runs 2 --golden /tmp/g.json --out none"
+        ))
+        .unwrap_err()
+        .contains("--check"));
     }
 
     #[test]

@@ -51,6 +51,7 @@ fn main() {
         Some("throughput") => commands::throughput(&parsed),
         Some("profile") => commands::profile(&parsed),
         Some("repro") => commands::repro(&parsed),
+        Some("churn") => commands::churn(&parsed),
         Some("report") => commands::report(&parsed),
         Some("help") | None => {
             commands::print_help();

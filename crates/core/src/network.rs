@@ -47,23 +47,7 @@ impl<T: Topology> CacheNetwork<T> {
     pub fn from_parts(topo: T, library: Library, placement: Placement) -> Self {
         assert_eq!(placement.n(), topo.n(), "placement/topology node count");
         assert_eq!(placement.k(), library.k(), "placement/library size");
-        let cached: Vec<FileId> = (0..library.k())
-            .filter(|&f| placement.replica_count(f) > 0)
-            .collect();
-        let cached_file_count = cached.len() as u32;
-        let cached_sampler = if cached_file_count == library.k() {
-            CachedSampler::Full
-        } else if cached.is_empty() {
-            CachedSampler::Empty
-        } else if library.popularity().is_uniform() {
-            CachedSampler::UniformSubset { ids: cached }
-        } else {
-            let weights: Vec<f64> = cached.iter().map(|&f| library.probability(f)).collect();
-            CachedSampler::WeightedSubset {
-                table: AliasTable::new(&weights),
-                ids: cached,
-            }
-        };
+        let (cached_file_count, cached_sampler) = build_cached_sampler(&library, &placement);
         Self {
             topo,
             library,
@@ -71,6 +55,24 @@ impl<T: Topology> CacheNetwork<T> {
             cached_file_count,
             cached_sampler,
         }
+    }
+
+    /// Mutate the placement through `f` (a batch of
+    /// [`Placement::insert`]/[`Placement::remove`] calls), then rebuild the
+    /// derived conditional cached-file sampler once. All derived state is
+    /// re-synchronized when this returns, so
+    /// [`CacheNetwork::sample_cached_file`] and every strategy keep
+    /// working mid-churn; the placement's own indices stay consistent
+    /// incrementally.
+    pub fn mutate_placement<F, O>(&mut self, f: F) -> O
+    where
+        F: FnOnce(&mut Placement) -> O,
+    {
+        let out = f(&mut self.placement);
+        let (count, sampler) = build_cached_sampler(&self.library, &self.placement);
+        self.cached_file_count = count;
+        self.cached_sampler = sampler;
+        out
     }
 
     /// The topology.
@@ -145,6 +147,29 @@ impl CacheNetwork<Torus> {
     pub fn builder() -> CacheNetworkBuilder {
         CacheNetworkBuilder::default()
     }
+}
+
+/// Compute the cached-file count and the O(1) conditional sampler for the
+/// current placement (shared by construction and post-mutation resync).
+fn build_cached_sampler(library: &Library, placement: &Placement) -> (u32, CachedSampler) {
+    let cached: Vec<FileId> = (0..library.k())
+        .filter(|&f| placement.replica_count(f) > 0)
+        .collect();
+    let cached_file_count = cached.len() as u32;
+    let sampler = if cached_file_count == library.k() {
+        CachedSampler::Full
+    } else if cached.is_empty() {
+        CachedSampler::Empty
+    } else if library.popularity().is_uniform() {
+        CachedSampler::UniformSubset { ids: cached }
+    } else {
+        let weights: Vec<f64> = cached.iter().map(|&f| library.probability(f)).collect();
+        CachedSampler::WeightedSubset {
+            table: AliasTable::new(&weights),
+            ids: cached,
+        }
+    };
+    (cached_file_count, sampler)
 }
 
 /// Fluent builder for [`CacheNetwork`] on a [`Torus`] or [`Grid`].
@@ -345,6 +370,37 @@ mod tests {
                 (got - expect).abs() < 6.0 * expect.sqrt().max(3.0),
                 "file {f}: {got} vs {expect}"
             );
+        }
+    }
+
+    #[test]
+    fn mutate_placement_resyncs_cached_sampler() {
+        // K ≫ slots so some files start uncached; evicting the last copy
+        // of a cached file must drop it from the conditional sampler, and
+        // inserting a previously uncached file must add it.
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut net = CacheNetwork::builder()
+            .torus_side(4)
+            .library(200, Popularity::zipf(0.8))
+            .cache_size(2)
+            .build(&mut rng);
+        let before = net.cached_file_count();
+        let singleton = (0..net.k())
+            .find(|&f| net.placement().replica_count(f) == 1)
+            .expect("some file has exactly one replica");
+        let holder = net.placement().replica_at(singleton, 0);
+        let uncached = (0..net.k())
+            .find(|&f| net.placement().replica_count(f) == 0)
+            .expect("some file is uncached");
+        net.mutate_placement(|p| {
+            assert!(p.remove(holder, singleton));
+            assert!(p.insert(holder, uncached));
+        });
+        assert_eq!(net.cached_file_count(), before);
+        for _ in 0..20_000 {
+            let f = net.sample_cached_file(&mut rng);
+            assert_ne!(f, singleton, "evicted file drawn from cached sampler");
+            assert!(net.placement().replica_count(f) > 0);
         }
     }
 

@@ -67,6 +67,12 @@ struct DenseIndex {
     /// Per-file offset into `words`, [`DenseIndex::NONE`] if not indexed.
     offsets: Vec<u32>,
     words: Vec<u64>,
+    /// Bitmap block length (`⌈n/64⌉` words), fixed per placement.
+    words_per_file: usize,
+    /// Offsets of blocks whose file was demoted below the density
+    /// threshold, reused by the next promotion so sustained churn does not
+    /// grow `words` without bound.
+    free: Vec<u32>,
 }
 
 impl DenseIndex {
@@ -92,7 +98,12 @@ impl DenseIndex {
                 w[(v / 64) as usize] |= 1u64 << (v % 64);
             }
         }
-        Self { offsets, words }
+        Self {
+            offsets,
+            words,
+            words_per_file,
+            free: Vec::new(),
+        }
     }
 
     /// `Some(cached?)` when file `f` is indexed, `None` otherwise.
@@ -104,6 +115,54 @@ impl DenseIndex {
         }
         let w = self.words[off as usize + (u / 64) as usize];
         Some((w >> (u % 64)) & 1 == 1)
+    }
+
+    /// Set (`val = true`) or clear the membership bit for `(f, u)`; no-op
+    /// when `f` is not indexed.
+    #[inline]
+    fn set(&mut self, f: FileId, u: NodeId, val: bool) {
+        let off = self.offsets[f as usize];
+        if off == Self::NONE {
+            return;
+        }
+        let w = &mut self.words[off as usize + (u / 64) as usize];
+        if val {
+            *w |= 1u64 << (u % 64);
+        } else {
+            *w &= !(1u64 << (u % 64));
+        }
+    }
+
+    /// Start indexing file `f`, which just crossed the density threshold:
+    /// reuse a freed block if one exists, else append one. Skips silently
+    /// at the u32 offset ceiling (same behavior as [`DenseIndex::build`]).
+    fn promote(&mut self, f: FileId, reps: &[NodeId]) {
+        debug_assert_eq!(self.offsets[f as usize], Self::NONE);
+        let off = if let Some(off) = self.free.pop() {
+            self.words[off as usize..off as usize + self.words_per_file].fill(0);
+            off
+        } else {
+            let Ok(off) = u32::try_from(self.words.len()) else {
+                return;
+            };
+            self.words
+                .resize(self.words.len() + self.words_per_file, 0u64);
+            off
+        };
+        self.offsets[f as usize] = off;
+        let w = &mut self.words[off as usize..];
+        for &v in reps {
+            w[(v / 64) as usize] |= 1u64 << (v % 64);
+        }
+    }
+
+    /// Stop indexing file `f`, which dropped below the density threshold;
+    /// its bitmap block goes on the free list for the next promotion.
+    fn demote(&mut self, f: FileId) {
+        let off = self.offsets[f as usize];
+        debug_assert_ne!(off, Self::NONE);
+        self.offsets[f as usize] = Self::NONE;
+        self.free.push(off);
     }
 }
 
@@ -482,6 +541,118 @@ impl Placement {
         }
     }
 
+    /// Insert file `f` into node `u`'s cache, keeping every index
+    /// consistent: the sorted replica list, the CSR node-file list, and the
+    /// dense bitmap (promoting `f` at the `n/16` density threshold exactly
+    /// where a from-scratch rebuild would index it). Returns `false`
+    /// without changes when `u` already caches `f`.
+    ///
+    /// Cost: two binary searches plus the CSR shift — O(total entries)
+    /// worst case, a memmove in practice. Churn events are rare relative
+    /// to requests, so this beats rebuilding the whole placement.
+    ///
+    /// # Panics
+    /// On the implicit full placement, if `f ≥ K`, or if node `u` already
+    /// holds `M` distinct files (capacity is the caller's invariant).
+    pub fn insert(&mut self, u: NodeId, f: FileId) -> bool {
+        assert!(f < self.k, "file id {f} out of range (K={})", self.k);
+        let (n, m) = (self.n, self.m);
+        match &mut self.kind {
+            Kind::Full => panic!("cannot mutate the implicit full placement"),
+            Kind::Sparse {
+                node_offsets,
+                node_files,
+                replicas,
+                dense,
+            } => {
+                let reps = &mut replicas[f as usize];
+                let Err(pos) = reps.binary_search(&u) else {
+                    return false;
+                };
+                let lo = node_offsets[u as usize] as usize;
+                let hi = node_offsets[u as usize + 1] as usize;
+                assert!(hi - lo < m as usize, "node {u} is full (M={m})");
+                reps.insert(pos, u);
+                let fpos = node_files[lo..hi]
+                    .binary_search(&f)
+                    .expect_err("replica list said f was absent");
+                node_files.insert(lo + fpos, f);
+                for off in &mut node_offsets[u as usize + 1..] {
+                    *off += 1;
+                }
+                if dense.offsets[f as usize] != DenseIndex::NONE {
+                    dense.set(f, u, true);
+                } else if (reps.len() as u64) * 16 >= n as u64 {
+                    dense.promote(f, reps);
+                }
+                true
+            }
+        }
+    }
+
+    /// Remove file `f` from node `u`'s cache, the inverse of
+    /// [`Placement::insert`] (the dense bitmap demotes `f` when its replica
+    /// count drops below the `n/16` threshold). Returns `false` without
+    /// changes when `u` does not cache `f`.
+    ///
+    /// # Panics
+    /// On the implicit full placement or if `f ≥ K`.
+    pub fn remove(&mut self, u: NodeId, f: FileId) -> bool {
+        assert!(f < self.k, "file id {f} out of range (K={})", self.k);
+        let n = self.n;
+        match &mut self.kind {
+            Kind::Full => panic!("cannot mutate the implicit full placement"),
+            Kind::Sparse {
+                node_offsets,
+                node_files,
+                replicas,
+                dense,
+            } => {
+                let reps = &mut replicas[f as usize];
+                let Ok(pos) = reps.binary_search(&u) else {
+                    return false;
+                };
+                reps.remove(pos);
+                let lo = node_offsets[u as usize] as usize;
+                let hi = node_offsets[u as usize + 1] as usize;
+                let fpos = node_files[lo..hi]
+                    .binary_search(&f)
+                    .expect("replica list said f was present");
+                node_files.remove(lo + fpos);
+                for off in &mut node_offsets[u as usize + 1..] {
+                    *off -= 1;
+                }
+                if dense.offsets[f as usize] != DenseIndex::NONE {
+                    if (reps.len() as u64) * 16 < n as u64 {
+                        dense.demote(f);
+                    } else {
+                        dense.set(f, u, false);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Drop every file cached at node `u`, returning the removed list
+    /// (sorted). Used when a node crashes without handoff: its entries
+    /// must stop serving immediately, and the returned list is what a
+    /// repair policy re-replicates elsewhere.
+    ///
+    /// # Panics
+    /// On the implicit full placement.
+    pub fn remove_node_entries(&mut self, u: NodeId) -> Vec<FileId> {
+        let files: Vec<FileId> = match &self.kind {
+            Kind::Full => panic!("cannot mutate the implicit full placement"),
+            Kind::Sparse { .. } => self.node_files(u).to_vec(),
+        };
+        for &f in &files {
+            let removed = self.remove(u, f);
+            debug_assert!(removed);
+        }
+        files
+    }
+
     /// Number of files with no replica anywhere (possible under the
     /// with-replacement model; the request stream must handle them — see
     /// [`crate::UncachedPolicy`]).
@@ -715,6 +886,111 @@ mod tests {
             p.replica_count(0),
             p.replica_count(99)
         );
+    }
+
+    /// Rebuild `p` from scratch and check every queryable surface agrees:
+    /// node lists, replica lists, membership (dense-or-not), and which
+    /// files carry a dense index.
+    fn assert_matches_rebuild(p: &Placement) {
+        let lists: Vec<Vec<FileId>> = (0..p.n()).map(|u| p.node_files(u).to_vec()).collect();
+        let r = Placement::from_node_files(p.n(), p.k(), p.m(), lists);
+        for u in 0..p.n() {
+            assert_eq!(p.node_files(u), r.node_files(u), "node {u}");
+        }
+        for f in 0..p.k() {
+            assert_eq!(p.replica_list(f), r.replica_list(f), "file {f}");
+            assert_eq!(
+                p.has_dense_index(f),
+                r.has_dense_index(f),
+                "dense index for file {f}"
+            );
+            for u in 0..p.n() {
+                assert_eq!(p.caches(u, f), r.caches(u, f), "caches({u},{f})");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let library = lib(20);
+        let mut p = Placement::generate(
+            40,
+            &library,
+            6,
+            PlacementPolicy::ProportionalWithReplacement,
+            &mut rng(11),
+        );
+        // Find a node with spare capacity (with-replacement draws can
+        // fill a node to exactly M distinct files, where `insert` is a
+        // contract violation) and a file it does not hold.
+        let u = (0..p.n()).find(|&u| p.t_u(u) < p.m()).unwrap();
+        let f = (0..20).find(|&f| !p.caches(u, f)).unwrap();
+        assert!(p.insert(u, f));
+        assert!(p.caches(u, f));
+        assert!(!p.insert(u, f), "double insert is a no-op");
+        assert_matches_rebuild(&p);
+        assert!(p.remove(u, f));
+        assert!(!p.caches(u, f));
+        assert!(!p.remove(u, f), "double remove is a no-op");
+        assert_matches_rebuild(&p);
+    }
+
+    #[test]
+    fn dense_index_promotes_and_demotes_at_threshold() {
+        // n=64: a file becomes dense at exactly 4 replicas (4*16 = 64).
+        let mut p = Placement::from_node_files(64, 2, 4, vec![Vec::new(); 64]);
+        for u in 0..3 {
+            assert!(p.insert(u, 0));
+            assert!(!p.has_dense_index(0), "below threshold at {} reps", u + 1);
+        }
+        assert!(p.insert(3, 0));
+        assert!(p.has_dense_index(0), "threshold crossing must promote");
+        assert_matches_rebuild(&p);
+        assert!(p.remove(1, 0));
+        assert!(!p.has_dense_index(0), "dropping below threshold demotes");
+        assert_matches_rebuild(&p);
+        // Freed block is reused: promote a second file, then the first
+        // again — membership stays exact throughout.
+        for u in 10..14 {
+            assert!(p.insert(u, 1));
+        }
+        assert!(p.insert(1, 0));
+        assert!(p.has_dense_index(0) && p.has_dense_index(1));
+        assert_matches_rebuild(&p);
+    }
+
+    #[test]
+    fn remove_node_entries_clears_node() {
+        let library = lib(10);
+        let mut p = Placement::generate(
+            30,
+            &library,
+            5,
+            PlacementPolicy::ProportionalWithReplacement,
+            &mut rng(12),
+        );
+        let before = p.node_files(7).to_vec();
+        let removed = p.remove_node_entries(7);
+        assert_eq!(removed, before);
+        assert!(p.node_files(7).is_empty());
+        for &f in &removed {
+            assert!(!p.caches(7, f));
+        }
+        assert_matches_rebuild(&p);
+    }
+
+    #[test]
+    #[should_panic(expected = "is full")]
+    fn insert_rejects_over_capacity() {
+        let mut p = Placement::from_node_files(2, 3, 2, vec![vec![0, 1], vec![]]);
+        let _ = p.insert(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "full placement")]
+    fn insert_rejects_full_placement() {
+        let mut p = Placement::full(4, 4);
+        let _ = p.insert(0, 0);
     }
 
     #[test]

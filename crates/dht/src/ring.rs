@@ -118,6 +118,35 @@ impl HashRing {
         }
     }
 
+    /// A new ring with server `added` joined: its `V` virtual nodes claim
+    /// the arcs immediately before them, and no key whose owner is not
+    /// `added` afterwards changes hands. Exact inverse of
+    /// [`HashRing::without_server`] — the result is point-for-point the
+    /// ring [`HashRing::new`] would build with `added` present (equal
+    /// hash positions keep the smaller server id, matching `new`'s
+    /// sort-then-dedup order).
+    ///
+    /// # Panics
+    /// If `added` already owns points on the ring.
+    pub fn with_server(&self, added: u32) -> Self {
+        assert!(
+            !self.points.iter().any(|&(_, s)| s == added),
+            "server {added} is already on the ring"
+        );
+        let mut points = self.points.clone();
+        points.reserve(self.vnodes as usize);
+        for v in 0..self.vnodes {
+            points.push((Self::vnode_hash(added, v, self.salt), added));
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        Self {
+            points,
+            vnodes: self.vnodes,
+            salt: self.salt,
+        }
+    }
+
     /// Fraction of `keys` whose owner differs between `self` and `other`
     /// — the disruption metric of consistent hashing.
     pub fn disruption(&self, other: &HashRing, keys: impl Iterator<Item = u64>) -> f64 {
@@ -232,6 +261,53 @@ mod tests {
             "disruption {frac:.4} should be ≈ 1/n = {expect:.4}"
         );
         assert!((ring.disruption(&smaller, 0..keys) - frac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_is_inverse_of_leave() {
+        // leave(s) then join(s) must reproduce the original ring exactly:
+        // every lookup (and replica set) agrees on a large key sample.
+        let ring = HashRing::new(12, 32, 13);
+        let rejoined = ring.without_server(5).with_server(5);
+        for key in 0..5_000u64 {
+            assert_eq!(ring.lookup(key), rejoined.lookup(key), "key {key}");
+            assert_eq!(
+                ring.lookup_replicas(key, 3),
+                rejoined.lookup_replicas(key, 3),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_disruption_on_join() {
+        // Joining an (n+1)-th server must move ≈ 1/(n+1) of keys — and
+        // every moved key must move *to* the joiner.
+        let ring = HashRing::new(24, 64, 17);
+        let grown = ring.with_server(24);
+        let keys = 20_000u64;
+        let mut moved = 0u64;
+        for key in 0..keys {
+            let before = ring.lookup(key);
+            let after = grown.lookup(key);
+            if before == after {
+                continue;
+            }
+            assert_eq!(after, 24, "key moved to a pre-existing server");
+            moved += 1;
+        }
+        let frac = moved as f64 / keys as f64;
+        let expect = 1.0 / 25.0;
+        assert!(
+            frac > 0.3 * expect && frac < 3.0 * expect,
+            "disruption {frac:.4} should be ≈ 1/(n+1) = {expect:.4}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already on the ring")]
+    fn join_rejects_present_server() {
+        let _ = HashRing::new(4, 8, 1).with_server(2);
     }
 
     #[test]

@@ -109,7 +109,7 @@ impl Artifact {
             .chain(self.metrics.iter().map(|m| format!("{}:{}", m.id, m.runs)))
             .collect();
         let provenance = Provenance::capture(
-            SCHEMA,
+            &self.schema,
             self.seed,
             &self.scale,
             &format!("repro {}", config.join(" ")),
@@ -156,17 +156,24 @@ impl Artifact {
         s
     }
 
-    /// Parse an artifact from JSON, validating the schema id.
+    /// Parse an artifact from JSON, requiring the [`SCHEMA`]
+    /// (`paba-repro/1`) schema id.
     pub fn from_json(src: &str) -> Result<Self, String> {
+        Self::from_json_expecting(src, SCHEMA)
+    }
+
+    /// Parse an artifact from JSON, validating the schema id against
+    /// `expected` (any gates+metrics schema, e.g. `paba-churn/1`).
+    pub fn from_json_expecting(src: &str, expected: &str) -> Result<Self, String> {
         let doc = json::parse(src)?;
         let schema = doc
             .get("schema")
             .and_then(Json::as_str)
             .ok_or("artifact missing 'schema'")?
             .to_string();
-        if schema != SCHEMA {
+        if schema != expected {
             return Err(format!(
-                "unsupported artifact schema '{schema}' (this build reads '{SCHEMA}')"
+                "unsupported artifact schema '{schema}' (expected '{expected}')"
             ));
         }
         let seed = doc
@@ -212,11 +219,16 @@ impl Artifact {
         std::fs::write(path, self.to_json()).map_err(|e| format!("writing {}: {e}", path.display()))
     }
 
-    /// Load and parse from `path`.
+    /// Load and parse from `path`, requiring the `paba-repro/1` schema.
     pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        Self::load_expecting(path, SCHEMA)
+    }
+
+    /// Load and parse from `path`, validating against `expected`.
+    pub fn load_expecting(path: &std::path::Path, expected: &str) -> Result<Self, String> {
         let src = std::fs::read_to_string(path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        Self::from_json(&src).map_err(|e| format!("{}: {e}", path.display()))
+        Self::from_json_expecting(&src, expected).map_err(|e| format!("{}: {e}", path.display()))
     }
 }
 
@@ -490,6 +502,24 @@ mod tests {
         a.seed = u64::MAX; // would corrupt through an f64 detour
         let parsed = Artifact::from_json(&a.to_json()).unwrap();
         assert_eq!(parsed.seed, u64::MAX);
+    }
+
+    #[test]
+    fn churn_schema_round_trips_via_expecting() {
+        let mut a = sample();
+        a.schema = paba_util::schema::CHURN.into();
+        let json = a.to_json();
+        // The repro-schema parser refuses the foreign schema…
+        assert!(Artifact::from_json(&json).unwrap_err().contains("schema"));
+        // …the explicit one accepts it, and provenance follows suit.
+        let parsed = Artifact::from_json_expecting(&json, paba_util::schema::CHURN).unwrap();
+        assert_eq!(parsed, a);
+        let doc = crate::json::parse(&json).unwrap();
+        let prov = doc.get("provenance").expect("provenance block present");
+        assert_eq!(
+            prov.get("schema").and_then(Json::as_str),
+            Some(paba_util::schema::CHURN)
+        );
     }
 
     #[test]

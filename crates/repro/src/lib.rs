@@ -27,6 +27,7 @@
 //! suite in CI.
 
 pub mod artifact;
+pub mod churn_experiments;
 pub mod experiments;
 pub mod json;
 
@@ -81,6 +82,31 @@ pub fn run_suite(cfg: &ReproConfig) -> Artifact {
     experiments::goodness(cfg, &mut gates, &mut metrics);
     Artifact {
         schema: SCHEMA.into(),
+        seed: cfg.seed,
+        scale: artifact::scale_label(cfg.scale).into(),
+        gates,
+        metrics,
+    }
+}
+
+/// Run the churn-robustness suite and assemble its artifact
+/// (`BENCH_churn.json`, schema `paba-churn/1`).
+pub fn run_churn_suite(cfg: &ReproConfig) -> Artifact {
+    run_churn_suite_with(cfg, &churn_experiments::ChurnParams::default(), None)
+}
+
+/// [`run_churn_suite`] with regime overrides and an optional live
+/// observability handle (see [`churn_experiments::churn_with`]).
+pub fn run_churn_suite_with(
+    cfg: &ReproConfig,
+    params: &churn_experiments::ChurnParams,
+    live: Option<&paba_mcrunner::LiveRun>,
+) -> Artifact {
+    let mut gates = Vec::new();
+    let mut metrics = Vec::new();
+    churn_experiments::churn_with(cfg, params, live, &mut gates, &mut metrics);
+    Artifact {
+        schema: paba_util::schema::CHURN.into(),
         seed: cfg.seed,
         scale: artifact::scale_label(cfg.scale).into(),
         gates,
@@ -199,6 +225,89 @@ mod tests {
         cfg.threads = Some(8);
         let b = run_suite(&cfg);
         // JSON form: bitwise-identical output, NaN fields included.
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn quick_churn_suite_passes_and_round_trips() {
+        let mut cfg = ReproConfig::new(Scale::Quick);
+        cfg.runs_override = Some(8);
+        let a = run_churn_suite(&cfg);
+        assert_eq!(a.schema, paba_util::schema::CHURN);
+        for g in &a.gates {
+            assert!(
+                g.passed,
+                "gate {} failed: statistic {:.3} < threshold {:.3} ({})",
+                g.id, g.statistic, g.threshold, g.detail
+            );
+        }
+        let round = Artifact::from_json_expecting(&a.to_json(), paba_util::schema::CHURN).unwrap();
+        assert_eq!(round.to_json(), a.to_json());
+        let rep = check(&a, &round, DEFAULT_CHECK_Z).unwrap();
+        assert!(rep.ok());
+    }
+
+    #[test]
+    fn churn_suite_live_recorder_is_transparent() {
+        // A shared live recorder must not perturb the artifact (it never
+        // touches the RNG stream), and the churn counters must flow.
+        let mut cfg = ReproConfig::new(Scale::Quick);
+        cfg.runs_override = Some(3);
+        let plain = run_churn_suite(&cfg);
+        let live = paba_mcrunner::LiveRun::new(3, false);
+        let observed = run_churn_suite_with(
+            &cfg,
+            &churn_experiments::ChurnParams::default(),
+            Some(&live),
+        );
+        assert_eq!(plain.metrics, observed.metrics);
+        assert_eq!(plain.gates.len(), observed.gates.len());
+        for (a, b) in plain.gates.iter().zip(&observed.gates) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.passed, b.passed);
+            assert_eq!(a.statistic.to_bits(), b.statistic.to_bits());
+        }
+        let snap = live.recorder.snapshot();
+        assert!(snap.counter(paba_telemetry::Counter::ChurnEvent) > 0);
+        assert!(snap.counter(paba_telemetry::Counter::DeadReplicaRetry) > 0);
+    }
+
+    #[test]
+    fn churn_params_override_changes_the_regime() {
+        let mut cfg = ReproConfig::new(Scale::Quick);
+        cfg.runs_override = Some(2);
+        let kill_heavy = churn_experiments::ChurnParams {
+            graceful_fraction: Some(0.0),
+            cycle_fraction: Some(0.3),
+            ..Default::default()
+        };
+        let a = run_churn_suite_with(&cfg, &kill_heavy, None);
+        let b = run_churn_suite(&cfg);
+        // More crashes, same metric ids — the artifacts stay comparable
+        // but the measured behavior differs.
+        assert_eq!(
+            a.metrics.iter().map(|m| &m.id).collect::<Vec<_>>(),
+            b.metrics.iter().map(|m| &m.id).collect::<Vec<_>>()
+        );
+        assert_ne!(a.metrics, b.metrics);
+        let cycled = |art: &Artifact| {
+            art.metrics
+                .iter()
+                .find(|m| m.id == "churn/schedule/cycled_fraction")
+                .expect("metric present")
+                .mean
+        };
+        assert!(cycled(&a) > cycled(&b));
+    }
+
+    #[test]
+    fn churn_suite_is_deterministic_in_thread_count() {
+        let mut cfg = ReproConfig::new(Scale::Quick);
+        cfg.runs_override = Some(4);
+        cfg.threads = Some(1);
+        let a = run_churn_suite(&cfg);
+        cfg.threads = Some(8);
+        let b = run_churn_suite(&cfg);
         assert_eq!(a.to_json(), b.to_json());
     }
 

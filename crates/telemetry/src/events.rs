@@ -81,11 +81,23 @@ pub enum Counter {
     /// `Placement::caches` membership query answered by binary search of
     /// the sorted replica/file lists.
     CachesBinarySearch = 3,
+    /// One churn-schedule event (crash/leave/join/insert) applied to the
+    /// live network.
+    ChurnEvent = 4,
+    /// A request's chosen server was dead; the failover path retried
+    /// against the next-nearest live replica.
+    DeadReplicaRetry = 5,
+    /// No live replica was reachable within the retry budget; the request
+    /// was served degraded (at its origin).
+    FailedRequest = 6,
+    /// One replica migrated (re-replicated or handed off) by the repair
+    /// path.
+    RepairMigration = 7,
 }
 
 impl Counter {
     /// Number of variants.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 8;
 
     /// All variants in discriminant order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -93,6 +105,10 @@ impl Counter {
         Counter::RowBandExpansion,
         Counter::CachesBitmap,
         Counter::CachesBinarySearch,
+        Counter::ChurnEvent,
+        Counter::DeadReplicaRetry,
+        Counter::FailedRequest,
+        Counter::RepairMigration,
     ];
 
     /// Stable kebab-case name (JSON key / table row).
@@ -102,6 +118,10 @@ impl Counter {
             Counter::RowBandExpansion => "row-band-expansion",
             Counter::CachesBitmap => "caches-bitmap",
             Counter::CachesBinarySearch => "caches-binary-search",
+            Counter::ChurnEvent => "churn-event",
+            Counter::DeadReplicaRetry => "dead-replica-retry",
+            Counter::FailedRequest => "failed-request",
+            Counter::RepairMigration => "repair-migration",
         }
     }
 }

@@ -342,16 +342,29 @@ impl MetricsServer {
         let handle = std::thread::Builder::new()
             .name("paba-metrics".into())
             .spawn(move || {
+                // Accept-error backoff: WouldBlock is the idle poll tick and
+                // stays at the base interval, but hard accept errors (EMFILE,
+                // ENFILE, ECONNABORTED storms) double the sleep up to a 1 s
+                // cap so a persistent fault cannot spin the thread, then
+                // reset as soon as an accept succeeds.
+                const BASE: Duration = Duration::from_millis(25);
+                const CAP: Duration = Duration::from_millis(1000);
+                let mut backoff = BASE;
                 while !stop_thread.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
+                            backoff = BASE;
                             // A broken scrape must not kill the endpoint.
                             let _ = serve_connection(stream, &render);
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(25));
+                            backoff = BASE;
+                            std::thread::sleep(BASE);
                         }
-                        Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                        Err(_) => {
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(CAP);
+                        }
                     }
                 }
             })

@@ -23,8 +23,11 @@ pub const TRACE_SERIES: &str = "paba-trace-series/1";
 /// `paba simulate --telemetry` snapshot dump.
 pub const TELEMETRY: &str = "paba-telemetry/1";
 
+/// `paba churn` fault-injection gate artifact (`BENCH_churn.json`).
+pub const CHURN: &str = "paba-churn/1";
+
 /// Every known schema id, for readers that dispatch on the field.
-pub const ALL: [&str; 5] = [THROUGHPUT, PROFILE, REPRO, TRACE_SERIES, TELEMETRY];
+pub const ALL: [&str; 6] = [THROUGHPUT, PROFILE, REPRO, TRACE_SERIES, TELEMETRY, CHURN];
 
 #[cfg(test)]
 mod tests {

@@ -61,6 +61,7 @@
 //! the harnesses regenerating every figure and table of the paper.
 
 pub use paba_ballsbins as ballsbins;
+pub use paba_churn as churn;
 pub use paba_core as core;
 pub use paba_dht as dht;
 pub use paba_mcrunner as mcrunner;
