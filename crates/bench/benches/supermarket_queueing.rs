@@ -76,6 +76,7 @@ fn main() {
         horizon: cfg.pick(400.0, 1_000.0, 6_000.0),
         warmup: cfg.pick(100.0, 300.0, 1_500.0),
         tail_cap: 24,
+        stride: 0,
     };
 
     let outcomes = paba_mcrunner::sweep(&grid, runs, cfg.seed, None, true, |(p, ()), _run, rng| {

@@ -236,9 +236,10 @@ fn section_for(out: &mut String, a: &ReportArtifact) {
         s if s == schema::THROUGHPUT => throughput_section(out, &a.doc),
         s if s == schema::PROFILE => profile_section(out, &a.doc),
         s if s == schema::REPRO => repro_section(out, &a.doc),
-        // Churn artifacts share the gates+metrics layout of the repro
-        // suite; only the schema id (and experiment set) differ.
+        // Churn and queueing artifacts share the gates+metrics layout of
+        // the repro suite; only the schema id (and experiment set) differ.
         s if s == schema::CHURN => repro_section(out, &a.doc),
+        s if s == schema::QUEUEING => repro_section(out, &a.doc),
         _ => out.push_str("(no renderer for this schema; see raw artifact)\n"),
     }
 }
@@ -499,6 +500,29 @@ mod tests {
         .to_json()
     }
 
+    fn tiny_queueing() -> String {
+        Artifact {
+            schema: schema::QUEUEING.into(),
+            seed: 3,
+            scale: "quick".into(),
+            gates: vec![Gate {
+                id: "queueing/pow-of-d/p99-collapse".into(),
+                passed: true,
+                statistic: 8.4,
+                threshold: 3.0,
+                p_false_pass: f64::NAN,
+                detail: "d".into(),
+            }],
+            metrics: vec![Metric {
+                id: "queueing/two_choice/p99".into(),
+                mean: 4.2,
+                std_err: 0.3,
+                runs: 8,
+            }],
+        }
+        .to_json()
+    }
+
     #[test]
     fn provenance_round_trip() {
         let p = Provenance::capture(schema::THROUGHPUT, 99, "default", "cfg x=1 y=2");
@@ -512,11 +536,12 @@ mod tests {
         let files = vec![
             ("BENCH_churn.json".to_string(), tiny_churn()),
             ("BENCH_profile.json".to_string(), tiny_profile()),
+            ("BENCH_queueing.json".to_string(), tiny_queueing()),
             ("BENCH_repro.json".to_string(), tiny_repro()),
             ("BENCH_throughput.json".to_string(), tiny_throughput()),
         ];
         let r = build_report(&files);
-        assert_eq!(r.artifacts, 4);
+        assert_eq!(r.artifacts, 5);
         assert!(r.failures.is_empty(), "{:?}", r.failures);
         // Under `cargo test` the writers stamp build_profile = debug, which
         // is a legitimate warning; nothing else should fire.
@@ -528,6 +553,7 @@ mod tests {
         assert!(r.markdown.contains("# paba benchmark report"));
         assert!(r.markdown.contains("paba-throughput/1"));
         assert!(r.markdown.contains("paba-churn/1"));
+        assert!(r.markdown.contains("paba-queueing/1"));
         assert!(!r.markdown.contains("no renderer for this schema"));
         assert!(r.markdown.contains("Theorem gates: **1/1 passed**"));
         assert!(r.markdown.contains("speedup vs exact"));
@@ -544,6 +570,7 @@ mod tests {
             (tiny_profile(), schema::PROFILE),
             (tiny_repro(), schema::REPRO),
             (tiny_churn(), schema::CHURN),
+            (tiny_queueing(), schema::QUEUEING),
         ] {
             let doc = parse(&json).unwrap();
             assert_eq!(doc.get("schema").and_then(Json::as_str), Some(want));

@@ -36,6 +36,8 @@ USAGE:
   paba repro [options]                run the theorem-gated reproduction suite
   paba churn [options]                run the churn-robustness suite: seeded
                                       fault injection, repair, degradation gates
+  paba queueing [options]             run the temporal serving-engine suite:
+                                      paired queueing arms, sojourn-tail gates
   paba report [options]               aggregate BENCH_*.json artifacts into one
                                       provenance-checked markdown report
   paba help                           show this text
@@ -93,11 +95,14 @@ WORKLOAD GENERATE/INSPECT:
             --workload/--side/--files/--cache/--gamma/--requests/--seed as above
   inspect:  --trace PATH (required), --top N hottest files/origins to list (5)
 
-QUEUE OPTIONS:
+QUEUE OPTIONS (plus the workload options above):
   --side/--files/--cache/--gamma/--radius/--choices/--seed as above
+  --strategy S      nearest | two-choice | d-choice | least-loaded (two-choice)
+  --stale P         refresh queue-length info only every P dispatches (1 = fresh)
   --lambda L        per-server arrival rate in (0,1) (0.8)
   --horizon T       simulated time (2000)
   --warmup T        measurement warm-up (500)
+  --stride S        sample the queue-length series every S arrivals (0 = off)
 
 THROUGHPUT OPTIONS:
   --scale S         quick | default | full grid (PABA_SCALE or default)
@@ -162,6 +167,17 @@ CHURN OPTIONS:
   --repair P        none | random | two-choices (two-choices)
   --retry-budget B  dead-replica failover retries per request (8)
   --replication R   DHT successor replicas per file (3)
+
+QUEUEING OPTIONS:
+  --scale/--quick/--seed/--runs/--out/--check/--golden/--csv  as for repro
+                    (artifact BENCH_queueing.json; fresh BENCH_queueing_fresh.json)
+  --threads T       worker threads (0 = available parallelism)
+  --serve-metrics ADDR  expose run progress at http://ADDR/metrics
+  --side/--files/--cache/--gamma/--radius  override the network regime
+  --lambda L        per-server arrival rate of the paired arms (0.9)
+  --horizon T       simulated time per run (scale default)
+  --warmup T        measurement-window start (scale default)
+  --stale-period P  stale-signal refresh period in dispatches (4n)
 
 REPORT OPTIONS:
   --dir DIR         directory scanned for BENCH_*.json artifacts (.)
@@ -814,10 +830,11 @@ pub fn trace(a: &Args) -> Result<(), String> {
 /// `paba queue`.
 pub fn queue(a: &Args) -> Result<(), String> {
     reject_action(a)?;
-    let known = [
-        "side", "files", "cache", "gamma", "radius", "choices", "lambda", "horizon", "warmup",
-        "seed", "csv",
+    let mut known = vec![
+        "side", "files", "cache", "gamma", "radius", "choices", "strategy", "stale", "stride",
+        "lambda", "horizon", "warmup", "seed", "csv",
     ];
+    known.extend_from_slice(WORKLOAD_KEYS);
     let unknown = a.unknown_keys(&known);
     if !unknown.is_empty() {
         return Err(format!("unknown option(s): {unknown:?} (see 'paba help')"));
@@ -828,13 +845,26 @@ pub fn queue(a: &Args) -> Result<(), String> {
     let gamma: f64 = a.parse_or("gamma", 0.0)?;
     let radius = a.radius("radius")?;
     let choices: u32 = a.parse_or("choices", 2)?;
+    let stale: u64 = a.parse_or("stale", 1)?;
+    let stride: u64 = a.parse_or("stride", 0)?;
     let lambda: f64 = a.parse_or("lambda", 0.8)?;
     let horizon: f64 = a.parse_or("horizon", 2_000.0)?;
     let warmup: f64 = a.parse_or("warmup", 500.0)?;
     let seed: u64 = a.parse_or("seed", paba_util::envcfg::DEFAULT_SEED)?;
+    let strategy = a.str_or("strategy", "two-choice");
     if !(0.0..1.0).contains(&lambda) || lambda == 0.0 {
         return Err(format!("--lambda must be in (0,1), got {lambda}"));
     }
+    if warmup >= horizon {
+        return Err(format!(
+            "--warmup must precede --horizon ({warmup} >= {horizon})"
+        ));
+    }
+    if stale == 0 {
+        return Err("--stale must be a positive refresh period".into());
+    }
+    let spec = workload_spec(a)?;
+    spec.validate(side * side, k)?;
 
     let mut rng = SmallRng::seed_from_u64(seed);
     let net = CacheNetwork::builder()
@@ -842,23 +872,68 @@ pub fn queue(a: &Args) -> Result<(), String> {
         .library(k, popularity(gamma))
         .cache_size(m)
         .build(&mut rng);
-    let mut strat = ProximityChoice::with_choices(radius, choices);
+    let mut source = spec.build(&net, UncachedPolicy::ResampleFile)?;
     let cfg = paba_supermarket::QueueSimConfig {
         lambda,
         horizon,
         warmup,
         tail_cap: 24,
+        stride,
     };
-    let rep = paba_supermarket::simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+    let rep = match strategy.as_str() {
+        "nearest" => {
+            let mut s = NearestReplica::new();
+            paba_supermarket::simulate_queueing_source(&net, &mut s, &mut source, &cfg, &mut rng)
+        }
+        "two-choice" | "d-choice" => {
+            let d = if strategy == "two-choice" { 2 } else { choices };
+            if stale > 1 {
+                let mut s = StaleLoad::new(ProximityChoice::with_choices(radius, d), stale);
+                paba_supermarket::simulate_queueing_source(
+                    &net,
+                    &mut s,
+                    &mut source,
+                    &cfg,
+                    &mut rng,
+                )
+            } else {
+                let mut s = ProximityChoice::with_choices(radius, d);
+                paba_supermarket::simulate_queueing_source(
+                    &net,
+                    &mut s,
+                    &mut source,
+                    &cfg,
+                    &mut rng,
+                )
+            }
+        }
+        "least-loaded" => {
+            let mut s = LeastLoadedInBall::new(radius);
+            paba_supermarket::simulate_queueing_source(&net, &mut s, &mut source, &cfg, &mut rng)
+        }
+        other => return Err(format!("--strategy: unknown strategy '{other}'")),
+    };
 
     let mut t = Table::new(["metric", "value"]);
     t.push_row(["servers n".to_string(), format!("{}", rep.n)]);
     t.push_row(["lambda".to_string(), format!("{lambda}")]);
+    t.push_row(["strategy".to_string(), strategy.clone()]);
+    t.push_row(["workload".to_string(), spec.name().to_string()]);
     t.push_row(["max queue".to_string(), format!("{}", rep.max_queue)]);
+    t.push_row([
+        "max queue (warmup)".to_string(),
+        format!("{}", rep.pre_warmup_max_queue),
+    ]);
     t.push_row(["mean queue".to_string(), format!("{:.4}", rep.mean_queue)]);
     t.push_row([
         "mean response".to_string(),
         format!("{:.4}", rep.mean_response),
+    ]);
+    t.push_row(["sojourn p50".to_string(), format!("{:.4}", rep.sojourn_p50)]);
+    t.push_row(["sojourn p99".to_string(), format!("{:.4}", rep.sojourn_p99)]);
+    t.push_row([
+        "sojourn p999".to_string(),
+        format!("{:.4}", rep.sojourn_p999),
     ]);
     t.push_row([
         "Little's-law response".to_string(),
@@ -870,6 +945,12 @@ pub fn queue(a: &Args) -> Result<(), String> {
     ]);
     for kq in 1..=6usize {
         t.push_row([format!("Pr[Q >= {kq}]"), format!("{:.5}", rep.tail_at(kq))]);
+    }
+    if stride > 0 {
+        t.push_row([
+            "series points".to_string(),
+            format!("{}", rep.series.points.len()),
+        ]);
     }
     if a.flag("csv") {
         print!("{}", t.to_csv());
@@ -1457,6 +1538,192 @@ pub fn churn(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `paba queueing` — the temporal serving-engine suite of `paba-repro`:
+/// paired queueing arms (random, fresh two-choice, stale-signal
+/// two-choice) over seeded cache networks plus an M/M/1 closed-form
+/// reference, gated on the pow-of-d sojourn collapse, Little's law, and
+/// throughput conservation. Writes the versioned `paba-queueing/1`
+/// artifact and (with `--check`) statistically diffs against the
+/// committed golden, exactly like `paba repro`.
+pub fn queueing(a: &Args) -> Result<(), String> {
+    reject_action(a)?;
+    let unknown = a.unknown_keys(&[
+        "scale",
+        "quick",
+        "seed",
+        "runs",
+        "threads",
+        "out",
+        "check",
+        "golden",
+        "csv",
+        "serve-metrics",
+        "side",
+        "files",
+        "cache",
+        "gamma",
+        "radius",
+        "lambda",
+        "horizon",
+        "warmup",
+        "stale-period",
+    ]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown option(s): {unknown:?} (see 'paba help')"));
+    }
+    let env_cfg = paba_util::envcfg::EnvCfg::from_env();
+    let scale = if a.flag("quick") {
+        paba_util::envcfg::Scale::Quick
+    } else {
+        match a.get("scale") {
+            None => env_cfg.scale,
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("--scale: expected quick|default|full, got '{s}'"))?,
+        }
+    };
+    let check = a.flag("check");
+    let mut cfg = paba_repro::ReproConfig::new(scale);
+    cfg.seed = a.parse_or("seed", paba_util::envcfg::DEFAULT_SEED)?;
+    cfg.runs_override = match a.get("runs") {
+        None => None,
+        Some(_) => match a.parse_or("runs", 0usize)? {
+            0 => return Err("--runs must be a positive run count".into()),
+            r => Some(r),
+        },
+    };
+    cfg.threads = match a.parse_or("threads", 0usize)? {
+        0 => None,
+        t => Some(t),
+    };
+
+    // Regime overrides: absent knobs keep the scale default (the
+    // configuration the committed golden was generated with).
+    let opt_u32 = |key: &str| -> Result<Option<u32>, String> {
+        match a.get(key) {
+            None => Ok(None),
+            Some(_) => Ok(Some(a.parse_or(key, 0u32)?)),
+        }
+    };
+    let opt_f64 = |key: &str| -> Result<Option<f64>, String> {
+        match a.get(key) {
+            None => Ok(None),
+            Some(_) => Ok(Some(a.parse_or(key, 0.0f64)?)),
+        }
+    };
+    let lambda = opt_f64("lambda")?;
+    if let Some(l) = lambda {
+        if !(0.0..1.0).contains(&l) || l == 0.0 {
+            return Err(format!("--lambda must be in (0,1), got {l}"));
+        }
+    }
+    let horizon = opt_f64("horizon")?;
+    let warmup = opt_f64("warmup")?;
+    if let (Some(w), Some(h)) = (warmup, horizon) {
+        if w >= h {
+            return Err(format!("--warmup must precede --horizon ({w} >= {h})"));
+        }
+    }
+    let stale_period = match a.get("stale-period") {
+        None => None,
+        Some(_) => match a.parse_or("stale-period", 0u64)? {
+            0 => return Err("--stale-period must be a positive dispatch count".into()),
+            p => Some(p),
+        },
+    };
+    let params = paba_repro::queueing_experiments::QueueingParams {
+        side: opt_u32("side")?,
+        files: opt_u32("files")?,
+        cache: opt_u32("cache")?,
+        gamma: opt_f64("gamma")?,
+        radius: opt_u32("radius")?,
+        lambda,
+        horizon,
+        warmup,
+        stale_period,
+    };
+
+    let default_out = if check {
+        // Never clobber the golden we are about to diff against.
+        "BENCH_queueing_fresh.json"
+    } else {
+        "BENCH_queueing.json"
+    };
+    let out = a.str_or("out", default_out);
+    let golden_path = a.str_or("golden", "BENCH_queueing.json");
+    if a.get("golden").is_some() && !check {
+        return Err(
+            "--golden only makes sense with --check (a plain run would ignore it \
+             and regenerate the artifact instead)"
+                .into(),
+        );
+    }
+    // Load the golden *before* running or writing anything (see `repro`).
+    let golden = if check {
+        if out != "none" && same_file(&out, &golden_path) {
+            return Err(format!(
+                "--check refuses to overwrite the golden it diffs against \
+                 ('{golden_path}'); pass a different --out (or 'none')"
+            ));
+        }
+        Some(paba_repro::Artifact::load_expecting(
+            std::path::Path::new(&golden_path),
+            schema::QUEUEING,
+        )?)
+    } else {
+        None
+    };
+
+    // `--serve-metrics`: the queueing engine records no counters, so the
+    // live handle exposes run progress only.
+    let live = a.get("serve-metrics").is_some().then(|| {
+        LiveRun::new(
+            paba_repro::queueing_experiments::planned_runs(&cfg) as u64,
+            false,
+        )
+    });
+    let _server = match &live {
+        Some(l) => spawn_metrics(a, l)?,
+        None => None,
+    };
+
+    let artifact = paba_repro::run_queueing_suite_with(&cfg, &params, live.as_ref());
+    let gates = paba_repro::gates_table(&artifact);
+    if a.flag("csv") {
+        print!("{}", gates.to_csv());
+    } else {
+        print!("{}", gates.to_markdown());
+    }
+    if out != "none" {
+        artifact.write(std::path::Path::new(&out))?;
+        eprintln!(
+            "wrote {} gates / {} metrics to {out}",
+            artifact.gates.len(),
+            artifact.metrics.len()
+        );
+    }
+    if !artifact.all_gates_passed() {
+        return Err("queueing gates failed (see table above)".into());
+    }
+    if let Some(golden) = golden {
+        let rep = paba_repro::check(&artifact, &golden, paba_repro::DEFAULT_CHECK_Z)?;
+        let t = paba_repro::check_table(&rep);
+        if a.flag("csv") {
+            print!("{}", t.to_csv());
+        } else {
+            print!("{}", t.to_markdown());
+        }
+        if !rep.ok() {
+            return Err(format!(
+                "golden check failed: {} regression(s) vs {golden_path}",
+                rep.regressions.len()
+            ));
+        }
+        eprintln!("golden check passed against {golden_path}");
+    }
+    Ok(())
+}
+
 /// `paba report` — fold every `BENCH_*.json` artifact in a directory
 /// into one markdown report with cross-artifact provenance consistency
 /// checks. Warnings (missing provenance, debug builds, seed drift) are
@@ -1664,6 +1931,32 @@ mod tests {
     fn queue_validates_lambda() {
         let a = args("queue --lambda 1.5");
         assert!(queue(&a).unwrap_err().contains("lambda"));
+    }
+
+    #[test]
+    fn queue_runs_every_strategy_and_workload() {
+        for strat in ["nearest", "two-choice", "d-choice", "least-loaded"] {
+            let a = args(&format!(
+                "queue --side 6 --files 8 --cache 2 --lambda 0.6 \
+                 --horizon 300 --warmup 50 --strategy {strat}"
+            ));
+            assert!(queue(&a).is_ok(), "{strat}");
+        }
+        // Stale load signal, strided series, and a workload family in one.
+        let a = args(
+            "queue --side 6 --files 8 --cache 2 --lambda 0.6 --horizon 300 \
+             --warmup 50 --stale 64 --stride 32 --workload flash-crowd",
+        );
+        assert!(queue(&a).is_ok());
+        assert!(queue(&args("queue --strategy chaos"))
+            .unwrap_err()
+            .contains("chaos"));
+        assert!(queue(&args("queue --stale 0"))
+            .unwrap_err()
+            .contains("stale"));
+        assert!(queue(&args("queue --warmup 900 --horizon 800"))
+            .unwrap_err()
+            .contains("warmup"));
     }
 
     #[test]
@@ -2027,6 +2320,98 @@ mod tests {
         );
         assert!(churn(&args(
             "churn --quick --runs 2 --golden /tmp/g.json --out none"
+        ))
+        .unwrap_err()
+        .contains("--check"));
+    }
+
+    #[test]
+    fn queueing_generate_then_check_round_trips() {
+        let dir =
+            std::env::temp_dir().join(format!("paba_cli_queueing_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let golden = dir.join("BENCH_queueing.json");
+        let fresh = dir.join("BENCH_queueing_fresh.json");
+        let gen = args(&format!(
+            "queueing --quick --runs 6 --threads 2 --out {}",
+            golden.display()
+        ));
+        queueing(&gen).unwrap();
+        let json = std::fs::read_to_string(&golden).unwrap();
+        assert!(json.contains("\"schema\": \"paba-queueing/1\""));
+        let chk = args(&format!(
+            "queueing --quick --runs 6 --threads 2 --check --golden {} --out {}",
+            golden.display(),
+            fresh.display()
+        ));
+        queueing(&chk).unwrap();
+        assert!(fresh.exists(), "--check must write the fresh artifact");
+        std::fs::remove_file(&golden).ok();
+        std::fs::remove_file(&fresh).ok();
+    }
+
+    #[test]
+    fn queueing_check_rejects_wrong_schema_golden() {
+        // A churn artifact is structurally valid JSON but the wrong
+        // schema; the queueing golden loader must name both schemas.
+        let dir =
+            std::env::temp_dir().join(format!("paba_cli_queueing_schema_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let golden = dir.join("BENCH_churn.json");
+        churn(&args(&format!(
+            "churn --quick --runs 8 --threads 2 --out {}",
+            golden.display()
+        )))
+        .unwrap();
+        let err = queueing(&args(&format!(
+            "queueing --quick --runs 2 --check --golden {} --out none",
+            golden.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("paba-queueing/1"), "{err}");
+        assert!(err.contains("paba-churn/1"), "{err}");
+        std::fs::remove_file(&golden).ok();
+    }
+
+    #[test]
+    fn queueing_check_refuses_aliased_golden_out_paths() {
+        let dir =
+            std::env::temp_dir().join(format!("paba_cli_queueing_alias_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let golden = dir.join("BENCH_queueing.json");
+        std::fs::write(&golden, "{}").unwrap();
+        let aliased = dir.join(".").join("BENCH_queueing.json");
+        let a = args(&format!(
+            "queueing --quick --runs 2 --check --golden {} --out {}",
+            golden.display(),
+            aliased.display()
+        ));
+        let err = queueing(&a).unwrap_err();
+        assert!(err.contains("refuses to overwrite"), "{err}");
+        assert_eq!(std::fs::read_to_string(&golden).unwrap(), "{}");
+        std::fs::remove_file(&golden).ok();
+    }
+
+    #[test]
+    fn queueing_rejects_bad_options() {
+        assert!(queueing(&args("queueing --sacle quick"))
+            .unwrap_err()
+            .contains("sacle"));
+        assert!(queueing(&args("queueing --quick --lambda 1.2 --out none"))
+            .unwrap_err()
+            .contains("lambda"));
+        assert!(queueing(&args(
+            "queueing --quick --warmup 500 --horizon 100 --out none"
+        ))
+        .unwrap_err()
+        .contains("warmup"));
+        assert!(
+            queueing(&args("queueing --quick --stale-period 0 --out none"))
+                .unwrap_err()
+                .contains("stale-period")
+        );
+        assert!(queueing(&args(
+            "queueing --quick --runs 2 --golden /tmp/g.json --out none"
         ))
         .unwrap_err()
         .contains("--check"));

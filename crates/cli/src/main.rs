@@ -12,6 +12,7 @@
 //! paba throughput --scale quick --out BENCH_throughput.json
 //! paba profile --scale quick --check --out BENCH_profile.json
 //! paba repro --quick --check
+//! paba queueing --quick --check
 //! paba simulate --side 45 --runs 200 --serve-metrics 127.0.0.1:9464
 //! paba report --dir . --out REPORT.md
 //! paba help
@@ -52,6 +53,7 @@ fn main() {
         Some("profile") => commands::profile(&parsed),
         Some("repro") => commands::repro(&parsed),
         Some("churn") => commands::churn(&parsed),
+        Some("queueing") => commands::queueing(&parsed),
         Some("report") => commands::report(&parsed),
         Some("help") | None => {
             commands::print_help();

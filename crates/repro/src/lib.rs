@@ -30,6 +30,7 @@ pub mod artifact;
 pub mod churn_experiments;
 pub mod experiments;
 pub mod json;
+pub mod queueing_experiments;
 
 pub use artifact::{check, Artifact, CheckReport, Gate, Metric, DEFAULT_CHECK_Z, SCHEMA};
 
@@ -107,6 +108,31 @@ pub fn run_churn_suite_with(
     churn_experiments::churn_with(cfg, params, live, &mut gates, &mut metrics);
     Artifact {
         schema: paba_util::schema::CHURN.into(),
+        seed: cfg.seed,
+        scale: artifact::scale_label(cfg.scale).into(),
+        gates,
+        metrics,
+    }
+}
+
+/// Run the temporal queueing suite and assemble its artifact
+/// (`BENCH_queueing.json`, schema `paba-queueing/1`).
+pub fn run_queueing_suite(cfg: &ReproConfig) -> Artifact {
+    run_queueing_suite_with(cfg, &queueing_experiments::QueueingParams::default(), None)
+}
+
+/// [`run_queueing_suite`] with regime overrides and an optional live
+/// observability handle (see [`queueing_experiments::queueing_with`]).
+pub fn run_queueing_suite_with(
+    cfg: &ReproConfig,
+    params: &queueing_experiments::QueueingParams,
+    live: Option<&paba_mcrunner::LiveRun>,
+) -> Artifact {
+    let mut gates = Vec::new();
+    let mut metrics = Vec::new();
+    queueing_experiments::queueing_with(cfg, params, live, &mut gates, &mut metrics);
+    Artifact {
+        schema: paba_util::schema::QUEUEING.into(),
         seed: cfg.seed,
         scale: artifact::scale_label(cfg.scale).into(),
         gates,
@@ -308,6 +334,81 @@ mod tests {
         let a = run_churn_suite(&cfg);
         cfg.threads = Some(8);
         let b = run_churn_suite(&cfg);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn quick_queueing_suite_passes_and_round_trips() {
+        let mut cfg = ReproConfig::new(Scale::Quick);
+        cfg.runs_override = Some(8);
+        let a = run_queueing_suite(&cfg);
+        assert_eq!(a.schema, paba_util::schema::QUEUEING);
+        for g in &a.gates {
+            assert!(
+                g.passed,
+                "gate {} failed: statistic {:.3} vs threshold {:.3} ({})",
+                g.id, g.statistic, g.threshold, g.detail
+            );
+        }
+        let round =
+            Artifact::from_json_expecting(&a.to_json(), paba_util::schema::QUEUEING).unwrap();
+        assert_eq!(round.to_json(), a.to_json());
+        let rep = check(&a, &round, DEFAULT_CHECK_Z).unwrap();
+        assert!(rep.ok());
+    }
+
+    #[test]
+    fn queueing_suite_live_recorder_is_transparent() {
+        // The live handle is a pure observer of run progress — the
+        // queueing engine records no counters and never touches the RNG
+        // stream through it, so the artifact must be bit-identical.
+        let mut cfg = ReproConfig::new(Scale::Quick);
+        cfg.runs_override = Some(2);
+        let plain = run_queueing_suite(&cfg);
+        let live = paba_mcrunner::LiveRun::new(2, false);
+        let observed = run_queueing_suite_with(
+            &cfg,
+            &queueing_experiments::QueueingParams::default(),
+            Some(&live),
+        );
+        assert_eq!(plain.to_json(), observed.to_json());
+    }
+
+    #[test]
+    fn queueing_params_override_changes_the_regime() {
+        let mut cfg = ReproConfig::new(Scale::Quick);
+        cfg.runs_override = Some(2);
+        let hotter = queueing_experiments::QueueingParams {
+            lambda: Some(0.95),
+            ..Default::default()
+        };
+        let a = run_queueing_suite_with(&cfg, &hotter, None);
+        let b = run_queueing_suite(&cfg);
+        // Same metric ids — the artifacts stay comparable — but the
+        // hotter system queues measurably deeper.
+        assert_eq!(
+            a.metrics.iter().map(|m| &m.id).collect::<Vec<_>>(),
+            b.metrics.iter().map(|m| &m.id).collect::<Vec<_>>()
+        );
+        assert_ne!(a.metrics, b.metrics);
+        let p99 = |art: &Artifact| {
+            art.metrics
+                .iter()
+                .find(|m| m.id == "queueing/two_choice/p99")
+                .expect("metric present")
+                .mean
+        };
+        assert!(p99(&a) > p99(&b));
+    }
+
+    #[test]
+    fn queueing_suite_is_deterministic_in_thread_count() {
+        let mut cfg = ReproConfig::new(Scale::Quick);
+        cfg.runs_override = Some(4);
+        cfg.threads = Some(1);
+        let a = run_queueing_suite(&cfg);
+        cfg.threads = Some(8);
+        let b = run_queueing_suite(&cfg);
         assert_eq!(a.to_json(), b.to_json());
     }
 

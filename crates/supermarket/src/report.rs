@@ -1,18 +1,37 @@
 //! Queueing-simulation measurements.
 
+use paba_telemetry::LoadSeries;
+
 /// Aggregated measurements over the window `[warmup, horizon)`.
+///
+/// Every statistic shares the same window semantics: the window opens
+/// exactly at `t == warmup` (inclusive) and closes at `horizon`
+/// (exclusive). Response/sojourn statistics cover jobs that *arrived*
+/// in the window; the warmup transient is reported only through
+/// [`QueueReport::pre_warmup_max_queue`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct QueueReport {
-    /// Largest queue length observed (including in-service job).
+    /// Largest queue length observed in the window (including the
+    /// in-service job and the state carried across the warmup boundary).
     pub max_queue: u32,
+    /// Largest queue length observed during warmup — the transient peak,
+    /// kept separate so it cannot contaminate the stationary statistic.
+    pub pre_warmup_max_queue: u32,
     /// Time-averaged mean queue length per server.
     pub mean_queue: f64,
     /// `tail[k]` = time-averaged fraction of servers with queue ≥ k.
     /// `tail[0] = 1` by definition.
     pub tail: Vec<f64>,
-    /// Mean response (sojourn) time of jobs completed in the window.
+    /// Mean response (sojourn) time of jobs that arrived in the window
+    /// and completed before the horizon.
     pub mean_response: f64,
-    /// Jobs completed in the measurement window.
+    /// Median sojourn time (bounded-error histogram estimate).
+    pub sojourn_p50: f64,
+    /// 99th-percentile sojourn time.
+    pub sojourn_p99: f64,
+    /// 99.9th-percentile sojourn time.
+    pub sojourn_p999: f64,
+    /// Jobs that arrived in the window and completed before the horizon.
     pub completed: u64,
     /// Jobs dispatched in the measurement window.
     pub dispatched: u64,
@@ -22,6 +41,9 @@ pub struct QueueReport {
     pub window: f64,
     /// Number of servers.
     pub n: u32,
+    /// Queue-length trajectory sampled every `stride` arrivals
+    /// (empty when `stride = 0`); max/mean/gap/p99 per sample point.
+    pub series: LoadSeries,
 }
 
 impl QueueReport {
@@ -62,14 +84,19 @@ mod tests {
     fn sample() -> QueueReport {
         QueueReport {
             max_queue: 5,
+            pre_warmup_max_queue: 7,
             mean_queue: 0.8,
             tail: vec![1.0, 0.5, 0.2],
             mean_response: 1.6,
+            sojourn_p50: 1.1,
+            sojourn_p99: 6.4,
+            sojourn_p999: 9.9,
             completed: 800,
             dispatched: 810,
             comm_cost: 3.2,
             window: 100.0,
             n: 10,
+            series: LoadSeries::new(0),
         }
     }
 

@@ -7,10 +7,25 @@
 //! [`paba_core::Strategy`] evaluated on the instantaneous queue-length
 //! vector, so the static strategies and the queueing model share one
 //! implementation of "two random nearby replicas, pick the shorter queue".
+//!
+//! Requests come from any [`paba_core::RequestSource`]
+//! ([`simulate_queueing_source`]), so the `paba-workload` families —
+//! flash crowds, skewed origins, drifting popularity, trace replay — drive
+//! the temporal model exactly as they drive the static one.
+//! [`simulate_queueing`] is the baseline-workload wrapper and emits a
+//! stream bit-identical to the pre-source engine.
+//!
+//! Every statistic is measured over the window `[warmup, horizon)` with
+//! one shared boundary predicate `t >= warmup` — time-averaged integrals
+//! ([`WindowAccumulator`]), event counts, response times (in-window
+//! *arrivals* only, so the warmup transient cannot contaminate them), and
+//! the maximum queue length (the pre-warmup peak is reported separately).
 
 use crate::event::{Departure, OrderedTime};
 use crate::report::QueueReport;
-use paba_core::{CacheNetwork, Request, Strategy, UncachedPolicy};
+use crate::sojourn::SojournHistogram;
+use paba_core::{CacheNetwork, IidUniform, RequestSource, Strategy, UncachedPolicy};
+use paba_telemetry::LoadSeries;
 use paba_topology::Topology;
 use rand::Rng;
 use std::cmp::Reverse;
@@ -29,6 +44,10 @@ pub struct QueueSimConfig {
     pub warmup: f64,
     /// Track tail fractions for queue lengths `0..=tail_cap`.
     pub tail_cap: usize,
+    /// Sample the queue-length vector into [`QueueReport::series`] every
+    /// `stride` arrivals (0 = off). Uses the same stride semantics as
+    /// `paba trace --stride`.
+    pub stride: u64,
 }
 
 impl Default for QueueSimConfig {
@@ -38,6 +57,7 @@ impl Default for QueueSimConfig {
             horizon: 2_000.0,
             warmup: 500.0,
             tail_cap: 32,
+            stride: 0,
         }
     }
 }
@@ -51,7 +71,59 @@ fn exp_sample<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
     -u.ln() / rate
 }
 
-/// Run the queueing simulation.
+/// Time-averaged integrals over the measurement window `[warmup, ∞)`.
+///
+/// `integral[k]` accumulates `∫ counts[k] dt` and `queue_area`
+/// accumulates `∫ Σ_i len_i dt`, both restricted to the window. The
+/// window opens at `t == warmup` — the same `>= warmup` predicate as the
+/// event-counted statistics, so an event landing exactly on the boundary
+/// belongs to the window for every statistic at once.
+struct WindowAccumulator {
+    warmup: f64,
+    /// Last time the integrals were advanced to (0 until the window opens).
+    last: f64,
+    integral: Vec<f64>,
+    queue_area: f64,
+}
+
+impl WindowAccumulator {
+    fn new(warmup: f64, cap: usize) -> Self {
+        Self {
+            warmup,
+            last: 0.0,
+            integral: vec![0.0; cap + 1],
+            queue_area: 0.0,
+        }
+    }
+
+    /// Credit `[max(last, warmup), t)` with the current state, then move
+    /// the cursor to `t`.
+    fn advance(&mut self, t: f64, counts: &[u32], lens: &[u32]) {
+        if t >= self.warmup {
+            let from = self.last.max(self.warmup);
+            let dt = t - from;
+            if dt > 0.0 {
+                for (acc, &c) in self.integral.iter_mut().zip(counts.iter()) {
+                    *acc += c as f64 * dt;
+                }
+                let total_len: u64 = lens.iter().map(|&l| l as u64).sum();
+                self.queue_area += total_len as f64 * dt;
+            }
+            self.last = t;
+        }
+    }
+
+    #[cfg(test)]
+    fn last_advance(&self) -> f64 {
+        self.last
+    }
+}
+
+/// Run the queueing simulation under the paper's baseline workload
+/// (origins uniform, files i.i.d. from the popularity profile).
+///
+/// Equivalent to [`simulate_queueing_source`] with
+/// [`IidUniform`] — bit-for-bit, including the RNG stream.
 ///
 /// # Panics
 /// If `lambda ∉ (0,1)` or `warmup ≥ horizon`.
@@ -64,6 +136,32 @@ pub fn simulate_queueing<T, S, R>(
 where
     T: Topology,
     S: Strategy<T>,
+    R: Rng + ?Sized,
+{
+    let mut source = IidUniform::with_policy(UncachedPolicy::ResampleFile);
+    simulate_queueing_source(net, strategy, &mut source, cfg, rng)
+}
+
+/// Run the queueing simulation with an arbitrary request source.
+///
+/// Poisson thinning happens here: arrivals occur at total rate `λ·n`, and
+/// each arrival's origin/file pair is drawn from `source`, so any
+/// `paba-workload` family (hotspots, flash crowds, shifting popularity,
+/// trace replay) plugs in unchanged.
+///
+/// # Panics
+/// If `lambda ∉ (0,1)` or `warmup ≥ horizon`.
+pub fn simulate_queueing_source<T, S, Src, R>(
+    net: &CacheNetwork<T>,
+    strategy: &mut S,
+    source: &mut Src,
+    cfg: &QueueSimConfig,
+    rng: &mut R,
+) -> QueueReport
+where
+    T: Topology,
+    S: Strategy<T>,
+    Src: RequestSource<T>,
     R: Rng + ?Sized,
 {
     assert!(
@@ -81,43 +179,25 @@ where
     let mut lens: Vec<u32> = vec![0; n as usize];
     let mut departures: BinaryHeap<Reverse<Departure>> = BinaryHeap::new();
 
-    // Time-averaged tail accumulators: counts[k] = #servers with len ≥ k,
-    // integral[k] = ∫ counts[k] dt over the measurement window.
+    // Per-threshold occupancy: counts[k] = #servers with len ≥ k.
     let cap = cfg.tail_cap.max(1);
     let mut counts: Vec<u32> = vec![0; cap + 1];
     counts[0] = n;
-    let mut integral: Vec<f64> = vec![0.0; cap + 1];
-    let mut queue_area = 0.0f64; // ∫ Σ_i len_i dt
+    let mut acc = WindowAccumulator::new(cfg.warmup, cap);
 
     let mut clock;
-    let mut last = 0.0f64; // last accumulation time ≥ warmup
     let mut next_arrival = exp_sample(total_rate, rng);
 
+    let mut window_open = false;
     let mut max_queue = 0u32;
+    let mut pre_warmup_max_queue = 0u32;
     let mut completed = 0u64;
     let mut response_sum = 0.0f64;
+    let mut sojourns = SojournHistogram::new();
     let mut dispatched = 0u64;
     let mut hops_sum = 0.0f64;
-
-    let accumulate = |t: f64,
-                      last: &mut f64,
-                      counts: &[u32],
-                      lens: &[u32],
-                      integral: &mut [f64],
-                      queue_area: &mut f64| {
-        if t > cfg.warmup {
-            let from = last.max(cfg.warmup);
-            let dt = t - from;
-            if dt > 0.0 {
-                for (acc, &c) in integral.iter_mut().zip(counts.iter()) {
-                    *acc += c as f64 * dt;
-                }
-                let total_len: u64 = lens.iter().map(|&l| l as u64).sum();
-                *queue_area += total_len as f64 * dt;
-            }
-            *last = t;
-        }
-    };
+    let mut arrival_idx = 0u64;
+    let mut series = LoadSeries::new(cfg.stride);
 
     loop {
         // Next event: arrival or earliest departure.
@@ -126,23 +206,23 @@ where
             Some(dt) if dt <= next_arrival => (dt, false),
             _ => (next_arrival, true),
         };
+        // Seed the in-window maximum with the state carried across the
+        // warmup boundary: the window's queue-length process starts from
+        // whatever the transient left behind, not from zero.
+        if !window_open && t >= cfg.warmup {
+            window_open = true;
+            max_queue = lens.iter().copied().max().unwrap_or(0);
+        }
         if t >= cfg.horizon {
-            accumulate(
-                cfg.horizon,
-                &mut last,
-                &counts,
-                &lens,
-                &mut integral,
-                &mut queue_area,
-            );
+            acc.advance(cfg.horizon, &counts, &lens);
             break;
         }
-        accumulate(t, &mut last, &counts, &lens, &mut integral, &mut queue_area);
+        acc.advance(t, &counts, &lens);
         clock = t;
 
         if is_arrival {
             next_arrival = clock + exp_sample(total_rate, rng);
-            let req = Request::sample(net, UncachedPolicy::ResampleFile, rng);
+            let req = source.next_request(net, rng);
             let a = strategy.assign(net, &lens, req, rng);
             let s = a.server as usize;
             queues[s].push_back(clock);
@@ -151,11 +231,15 @@ where
             if (new_len as usize) <= cap {
                 counts[new_len as usize] += 1;
             }
-            max_queue = max_queue.max(new_len);
             if clock >= cfg.warmup {
+                max_queue = max_queue.max(new_len);
                 dispatched += 1;
                 hops_sum += a.hops as f64;
+            } else {
+                pre_warmup_max_queue = pre_warmup_max_queue.max(new_len);
             }
+            series.observe(arrival_idx, &lens);
+            arrival_idx += 1;
             if new_len == 1 {
                 departures.push(Reverse(Departure {
                     time: OrderedTime::new(clock + exp_sample(1.0, rng)),
@@ -171,9 +255,15 @@ where
                 counts[old_len as usize] -= 1;
             }
             lens[s] -= 1;
-            if clock >= cfg.warmup {
+            // Count a completion only for jobs that *arrived* in the
+            // window: `arrived >= warmup` implies `clock >= warmup`, and
+            // keeps `completed ⊆ dispatched` so conservation and
+            // Little's-law checks compare like with like.
+            if arrived >= cfg.warmup {
                 completed += 1;
-                response_sum += clock - arrived;
+                let sojourn = clock - arrived;
+                response_sum += sojourn;
+                sojourns.record(sojourn);
             }
             if lens[s] > 0 {
                 departures.push(Reverse(Departure {
@@ -185,16 +275,24 @@ where
     }
 
     let window = cfg.horizon - cfg.warmup;
-    let tail: Vec<f64> = integral.iter().map(|&a| a / (window * n as f64)).collect();
+    let tail: Vec<f64> = acc
+        .integral
+        .iter()
+        .map(|&a| a / (window * n as f64))
+        .collect();
     QueueReport {
         max_queue,
-        mean_queue: queue_area / (window * n as f64),
+        pre_warmup_max_queue,
+        mean_queue: acc.queue_area / (window * n as f64),
         tail,
         mean_response: if completed > 0 {
             response_sum / completed as f64
         } else {
             0.0
         },
+        sojourn_p50: sojourns.quantile(0.5),
+        sojourn_p99: sojourns.quantile(0.99),
+        sojourn_p999: sojourns.quantile(0.999),
         completed,
         dispatched,
         comm_cost: if dispatched > 0 {
@@ -204,13 +302,14 @@ where
         },
         window,
         n,
+        series,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paba_core::{Library, Placement, ProximityChoice};
+    use paba_core::{Library, Placement, ProximityChoice, StaleLoad};
     use paba_popularity::Popularity;
     use paba_topology::Torus;
     use rand::rngs::SmallRng;
@@ -236,6 +335,7 @@ mod tests {
             horizon: 60_000.0,
             warmup: 2_000.0,
             tail_cap: 16,
+            stride: 0,
         };
         let mut rng = SmallRng::seed_from_u64(1);
         let rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
@@ -254,6 +354,161 @@ mod tests {
     }
 
     #[test]
+    fn mm1_mean_response_matches_closed_form() {
+        // The M/M/1 closed form for the mean sojourn: W = 1/(1−ρ).
+        // The older suite only checked L; this pins W directly, on both
+        // the direct estimator and the sojourn-histogram mean.
+        let net = full_net(1);
+        for (lambda, seed) in [(0.5f64, 21u64), (0.7, 22)] {
+            let expect = 1.0 / (1.0 - lambda);
+            let cfg = QueueSimConfig {
+                lambda,
+                horizon: 120_000.0,
+                warmup: 4_000.0,
+                tail_cap: 16,
+                stride: 0,
+            };
+            let mut strat = ProximityChoice::with_choices(None, 1);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+            assert!(
+                (rep.mean_response - expect).abs() / expect < 0.08,
+                "λ={lambda}: W {} vs 1/(1−ρ) = {expect}",
+                rep.mean_response
+            );
+            // p50 of the M/M/1 sojourn (Exp with rate 1−ρ): ln 2/(1−ρ).
+            let p50 = (2.0f64).ln() / (1.0 - lambda);
+            assert!(
+                (rep.sojourn_p50 - p50).abs() / p50 < 0.1,
+                "λ={lambda}: p50 {} vs {p50}",
+                rep.sojourn_p50
+            );
+        }
+    }
+
+    #[test]
+    fn window_accumulator_opens_exactly_at_warmup() {
+        // Regression (measurement-window bug 1): the integral side used
+        // `t > warmup` while event counts used `clock >= warmup`. An
+        // event landing exactly on the warmup instant must open the
+        // window so both sides agree on `[warmup, horizon)`.
+        let mut acc = WindowAccumulator::new(10.0, 2);
+        acc.advance(10.0, &[1, 1, 0], &[1]);
+        assert_eq!(
+            acc.last_advance(),
+            10.0,
+            "an event at t == warmup must open the measurement window"
+        );
+        // The stretch from the boundary onward is credited in full.
+        acc.advance(12.5, &[1, 1, 0], &[1]);
+        assert!((acc.queue_area - 2.5).abs() < 1e-12);
+        assert!((acc.integral[1] - 2.5).abs() < 1e-12);
+        // Pre-warmup stretches stay excluded.
+        let mut before = WindowAccumulator::new(10.0, 2);
+        before.advance(4.0, &[1, 1, 0], &[1]);
+        assert_eq!(before.last_advance(), 0.0);
+        assert_eq!(before.queue_area, 0.0);
+    }
+
+    #[test]
+    fn response_times_exclude_pre_warmup_arrivals() {
+        // Regression (measurement-window bug 2): completions used to be
+        // counted whenever the *departure* fell in the window, so the
+        // warmup backlog leaked into `mean_response` and `completed`
+        // could exceed `dispatched`. With a window much shorter than the
+        // λ=0.9 backlog drain, the pre-fix code counts more completions
+        // (the drained backlog) than in-window arrivals.
+        let net = full_net(1);
+        let mut strat = ProximityChoice::with_choices(None, 1);
+        let cfg = QueueSimConfig {
+            lambda: 0.9,
+            horizon: 240.0,
+            warmup: 200.0,
+            tail_cap: 8,
+            stride: 0,
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        let rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+        assert!(rep.completed > 0, "window must see completions");
+        assert!(
+            rep.completed <= rep.dispatched,
+            "every counted completion must be an in-window arrival \
+             (completed {} vs dispatched {})",
+            rep.completed,
+            rep.dispatched
+        );
+        // Structural bound: an in-window arrival completing in-window has
+        // sojourn < window length, so the mean cannot exceed it.
+        assert!(
+            rep.mean_response < rep.window,
+            "mean response {} exceeds the window {} — pre-warmup \
+             arrivals leaked into the response statistics",
+            rep.mean_response,
+            rep.window
+        );
+    }
+
+    #[test]
+    fn max_queue_is_windowed_with_pre_warmup_peak_exposed() {
+        // Regression (measurement-window bug 3): `max_queue` used to take
+        // its maximum over *every* arrival including warmup. With a long
+        // warmup and a short window at λ=0.9, the transient peak exceeds
+        // the in-window peak, so the windowed statistic must come out
+        // strictly smaller than the pre-warmup one.
+        let net = full_net(1);
+        let mut strat = ProximityChoice::with_choices(None, 1);
+        let cfg = QueueSimConfig {
+            lambda: 0.9,
+            horizon: 2_000.0,
+            warmup: 1_800.0,
+            tail_cap: 8,
+            stride: 0,
+        };
+        let mut rng = SmallRng::seed_from_u64(22);
+        let rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+        assert!(
+            rep.max_queue < rep.pre_warmup_max_queue,
+            "in-window max {} should fall below the pre-warmup peak {} \
+             in this regime — max_queue is leaking the transient",
+            rep.max_queue,
+            rep.pre_warmup_max_queue
+        );
+        assert!(rep.max_queue > 0);
+    }
+
+    #[test]
+    fn halving_warmup_does_not_shift_stationary_mean_response() {
+        // Warmup-sensitivity: the warmup knob must only trim the
+        // transient. Past mixing, measuring over [500, 6000) vs
+        // [1000, 6000) re-windows the same event stream (warmup does not
+        // touch the RNG), so the stationary mean response may move only
+        // by window-composition noise.
+        let net = full_net(8);
+        let run = |warmup: f64| {
+            let cfg = QueueSimConfig {
+                lambda: 0.7,
+                horizon: 6_000.0,
+                warmup,
+                tail_cap: 16,
+                stride: 0,
+            };
+            let mut strat = ProximityChoice::two_choice(None);
+            let mut rng = SmallRng::seed_from_u64(7);
+            simulate_queueing(&net, &mut strat, &cfg, &mut rng)
+        };
+        let long = run(1_000.0);
+        let short = run(500.0);
+        let rel = (long.mean_response - short.mean_response).abs() / long.mean_response;
+        assert!(
+            rel < 0.05,
+            "halving warmup moved mean response by {rel:.3} \
+             ({} vs {}) — warmup is contaminating the stationary window",
+            long.mean_response,
+            short.mean_response
+        );
+    }
+
+    #[test]
     fn littles_law_consistency() {
         let net = full_net(8);
         let mut strat = ProximityChoice::two_choice(None);
@@ -262,6 +517,7 @@ mod tests {
             horizon: 4_000.0,
             warmup: 500.0,
             tail_cap: 32,
+            stride: 0,
         };
         let mut rng = SmallRng::seed_from_u64(2);
         let rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
@@ -284,6 +540,7 @@ mod tests {
             horizon: 3_000.0,
             warmup: 1_000.0,
             tail_cap: 32,
+            stride: 0,
         };
         let mut rng = SmallRng::seed_from_u64(3);
         let mut random = ProximityChoice::with_choices(None, 1);
@@ -298,6 +555,155 @@ mod tests {
             r_rand.tail_at(4)
         );
         assert!(r_two.max_queue <= r_rand.max_queue);
+        // The sojourn tail collapses with the queue tail.
+        assert!(
+            r_two.sojourn_p99 < r_rand.sojourn_p99,
+            "p99 sojourn: two-choice {} vs random {}",
+            r_two.sojourn_p99,
+            r_rand.sojourn_p99
+        );
+    }
+
+    #[test]
+    fn workload_sources_drive_the_queueing_engine() {
+        // A flash crowd is the workload stress case: the boosted file
+        // concentrates requests, replaying deterministically under a seed
+        // and differing measurably from the baseline i.i.d. stream.
+        let net = full_net(8);
+        let cfg = QueueSimConfig {
+            lambda: 0.8,
+            horizon: 1_200.0,
+            warmup: 300.0,
+            tail_cap: 16,
+            stride: 0,
+        };
+        let run = |seed: u64| {
+            let mut strat = ProximityChoice::two_choice(Some(2));
+            let mut source = paba_workload::FlashCrowd::new(0, 0, 10_000, 50.0, 0.0);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            simulate_queueing_source(&net, &mut strat, &mut source, &cfg, &mut rng)
+        };
+        assert_eq!(run(17), run(17), "flash-crowd runs must replay");
+        let flash = run(17);
+        assert!(flash.completed > 0);
+        assert!(flash.comm_cost <= 2.0);
+        let mut strat = ProximityChoice::two_choice(Some(2));
+        let mut rng = SmallRng::seed_from_u64(17);
+        let iid = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+        assert_ne!(flash, iid, "the workload family must actually matter");
+    }
+
+    #[test]
+    fn stale_load_period_one_matches_fresh_exactly() {
+        // A StaleLoad wrapper refreshing on every request must be
+        // indistinguishable from the fresh strategy, RNG stream included.
+        let net = full_net(8);
+        let cfg = QueueSimConfig {
+            lambda: 0.8,
+            horizon: 1_500.0,
+            warmup: 300.0,
+            tail_cap: 16,
+            stride: 0,
+        };
+        let mut fresh = ProximityChoice::two_choice(None);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let rep_fresh = simulate_queueing(&net, &mut fresh, &cfg, &mut rng);
+        let mut stale = StaleLoad::new(ProximityChoice::two_choice(None), 1);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let rep_stale = simulate_queueing(&net, &mut stale, &cfg, &mut rng);
+        assert_eq!(rep_fresh, rep_stale);
+    }
+
+    #[test]
+    fn stale_load_under_queueing_is_deterministic_and_ordered() {
+        // The delayed-load-signal contender: refreshing the queue-length
+        // snapshot only every `period` dispatches stays deterministic
+        // given a seed, and its p99 sojourn sits between fresh two-choice
+        // (better information) and random (no information) at high load.
+        let net = full_net(12);
+        let cfg = QueueSimConfig {
+            lambda: 0.9,
+            horizon: 4_000.0,
+            warmup: 1_000.0,
+            tail_cap: 32,
+            stride: 0,
+        };
+        let n = net.n() as u64;
+        let run_stale = |seed: u64| {
+            let mut s = StaleLoad::new(ProximityChoice::two_choice(None), 4 * n);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            simulate_queueing(&net, &mut s, &cfg, &mut rng)
+        };
+        assert_eq!(run_stale(14), run_stale(14), "stale runs must replay");
+
+        let stale = run_stale(14);
+        let mut two = ProximityChoice::two_choice(None);
+        let mut rng = SmallRng::seed_from_u64(14);
+        let fresh = simulate_queueing(&net, &mut two, &cfg, &mut rng);
+        let mut rand1 = ProximityChoice::with_choices(None, 1);
+        let mut rng = SmallRng::seed_from_u64(14);
+        let random = simulate_queueing(&net, &mut rand1, &cfg, &mut rng);
+        assert!(
+            stale.sojourn_p99 >= 0.95 * fresh.sojourn_p99,
+            "stale p99 {} implausibly beats fresh p99 {}",
+            stale.sojourn_p99,
+            fresh.sojourn_p99
+        );
+        assert!(
+            stale.sojourn_p99 <= random.sojourn_p99,
+            "stale p99 {} worse than random p99 {} — the stale signal \
+             should still carry most of the pow-of-d collapse",
+            stale.sojourn_p99,
+            random.sojourn_p99
+        );
+    }
+
+    #[test]
+    fn source_engine_matches_legacy_wrapper_bit_for_bit() {
+        let net = full_net(6);
+        let cfg = QueueSimConfig::default();
+        let mut strat = ProximityChoice::two_choice(Some(3));
+        let mut rng = SmallRng::seed_from_u64(15);
+        let legacy = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+        let mut strat = ProximityChoice::two_choice(Some(3));
+        let mut source = IidUniform::with_policy(UncachedPolicy::ResampleFile);
+        let mut rng = SmallRng::seed_from_u64(15);
+        let sourced = simulate_queueing_source(&net, &mut strat, &mut source, &cfg, &mut rng);
+        assert_eq!(legacy, sourced);
+    }
+
+    #[test]
+    fn load_series_rides_the_stride_machinery() {
+        let net = full_net(6);
+        let cfg = QueueSimConfig {
+            stride: 64,
+            ..QueueSimConfig::default()
+        };
+        let mut strat = ProximityChoice::two_choice(None);
+        let mut rng = SmallRng::seed_from_u64(16);
+        let rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
+        assert!(!rep.series.points.is_empty());
+        assert!(rep
+            .series
+            .points
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.requests == 64 * (i as u64 + 1)));
+        // Sampling never touches the RNG stream or the measurements.
+        let mut strat = ProximityChoice::two_choice(None);
+        let mut rng = SmallRng::seed_from_u64(16);
+        let off = simulate_queueing(
+            &net,
+            &mut strat,
+            &QueueSimConfig {
+                stride: 0,
+                ..QueueSimConfig::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(off.completed, rep.completed);
+        assert_eq!(off.mean_queue, rep.mean_queue);
+        assert!(off.series.points.is_empty());
     }
 
     #[test]
@@ -308,6 +714,7 @@ mod tests {
             horizon: 500.0,
             warmup: 100.0,
             tail_cap: 16,
+            stride: 0,
         };
         let mut rng = SmallRng::seed_from_u64(5);
         let mut strat = ProximityChoice::two_choice(Some(2));
@@ -341,6 +748,7 @@ mod tests {
             horizon: 1_000.0,
             warmup: 0.0,
             tail_cap: 8,
+            stride: 0,
         };
         let mut rng = SmallRng::seed_from_u64(6);
         let mut strat = ProximityChoice::two_choice(None);

@@ -26,8 +26,20 @@ pub const TELEMETRY: &str = "paba-telemetry/1";
 /// `paba churn` fault-injection gate artifact (`BENCH_churn.json`).
 pub const CHURN: &str = "paba-churn/1";
 
+/// `paba queueing` temporal serving-engine gate artifact
+/// (`BENCH_queueing.json`).
+pub const QUEUEING: &str = "paba-queueing/1";
+
 /// Every known schema id, for readers that dispatch on the field.
-pub const ALL: [&str; 6] = [THROUGHPUT, PROFILE, REPRO, TRACE_SERIES, TELEMETRY, CHURN];
+pub const ALL: [&str; 7] = [
+    THROUGHPUT,
+    PROFILE,
+    REPRO,
+    TRACE_SERIES,
+    TELEMETRY,
+    CHURN,
+    QUEUEING,
+];
 
 #[cfg(test)]
 mod tests {

@@ -29,6 +29,7 @@ fn main() {
         horizon: 3_000.0,
         warmup: 800.0,
         tail_cap: 16,
+        stride: 0,
     };
 
     println!(

@@ -82,6 +82,8 @@ pub mod prelude {
         UncachedPolicy, VoronoiComputer,
     };
     pub use paba_popularity::Popularity;
-    pub use paba_supermarket::{simulate_queueing, QueueSimConfig};
+    pub use paba_supermarket::{
+        simulate_queueing, simulate_queueing_source, QueueSimConfig, SojournHistogram,
+    };
     pub use paba_topology::{Topology, Torus};
 }

@@ -29,6 +29,7 @@ fn low_load_cost_matches_static_cost() {
         horizon: 4_000.0,
         warmup: 200.0,
         tail_cap: 8,
+        stride: 0,
     };
     let mut strat = ProximityChoice::two_choice(Some(3));
     let queue_rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
@@ -54,6 +55,7 @@ fn utilization_matches_lambda() {
             horizon: 6_000.0,
             warmup: 1_000.0,
             tail_cap: 8,
+            stride: 0,
         };
         let mut strat = ProximityChoice::two_choice(Some(3));
         let rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
@@ -73,6 +75,7 @@ fn tails_are_monotone_decreasing() {
         horizon: 2_000.0,
         warmup: 300.0,
         tail_cap: 16,
+        stride: 0,
     };
     let mut strat = ProximityChoice::two_choice(None);
     let rep = simulate_queueing(&net, &mut strat, &cfg, &mut rng);
@@ -94,6 +97,7 @@ fn two_choice_response_time_beats_random_at_high_load() {
         horizon: 2_500.0,
         warmup: 500.0,
         tail_cap: 24,
+        stride: 0,
     };
     let mut rand_d1 = ProximityChoice::with_choices(None, 1);
     let rep1 = simulate_queueing(&net, &mut rand_d1, &cfg, &mut rng);
